@@ -1,0 +1,334 @@
+//! High-level AWE driver: circuit in, reduced-order model out.
+
+use crate::{pade_rom, AweError, MomentEngine, Moments, Rom};
+use awesym_circuit::{Circuit, ElementId, Node};
+use awesym_mna::Mna;
+
+/// One-stop AWE analysis of a circuit: builds the MNA system, factors `G`,
+/// and produces reduced-order models of any requested order.
+///
+/// # Example
+///
+/// ```
+/// use awesym_circuit::generators::rc_ladder;
+/// use awesym_awe::AweAnalysis;
+///
+/// # fn main() -> Result<(), awesym_awe::AweError> {
+/// let w = rc_ladder(30, 20.0, 0.5e-12);
+/// let awe = AweAnalysis::new(&w.circuit, w.input, w.output)?;
+/// let rom = awe.rom_stable(4)?;
+/// assert!(rom.is_stable());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AweAnalysis {
+    engine: MomentEngine,
+}
+
+impl AweAnalysis {
+    /// Builds the analysis for a circuit, input source, and output node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AweError::Mna`] for formulation failures (singular `G`,
+    /// bad input reference).
+    pub fn new(circuit: &Circuit, input: ElementId, output: Node) -> Result<Self, AweError> {
+        let mna = Mna::build(circuit)?;
+        let engine = MomentEngine::new(mna, input, output)?;
+        Ok(AweAnalysis { engine })
+    }
+
+    /// Builds the analysis for an arbitrary probe — e.g. the current
+    /// through a voltage source (transfer admittance) or a differential
+    /// voltage.
+    ///
+    /// # Errors
+    ///
+    /// As [`AweAnalysis::new`], plus a bad-reference error for branch
+    /// probes on elements without explicit currents.
+    pub fn new_probe(
+        circuit: &Circuit,
+        input: ElementId,
+        probe: &awesym_mna::Probe,
+    ) -> Result<Self, AweError> {
+        let mna = Mna::build(circuit)?;
+        let engine = MomentEngine::with_probe(mna, input, probe)?;
+        Ok(AweAnalysis { engine })
+    }
+
+    /// Builds the analysis from an existing MNA system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AweError::Mna`] when `G` is singular or `input` is not an
+    /// independent source.
+    pub fn from_mna(mna: Mna, input: ElementId, output: Node) -> Result<Self, AweError> {
+        Ok(AweAnalysis {
+            engine: MomentEngine::new(mna, input, output)?,
+        })
+    }
+
+    /// Access to the moment engine (for sensitivity analysis).
+    pub fn engine(&self) -> &MomentEngine {
+        &self.engine
+    }
+
+    /// Computes the first `count` moments.
+    ///
+    /// # Errors
+    ///
+    /// See [`MomentEngine::compute`].
+    pub fn moments(&self, count: usize) -> Result<Moments, AweError> {
+        self.engine.compute(count)
+    }
+
+    /// A `q`-pole reduced-order model (2q moments are computed).
+    ///
+    /// # Errors
+    ///
+    /// See [`pade_rom`].
+    pub fn rom(&self, q: usize) -> Result<Rom, AweError> {
+        let m = self.engine.compute(2 * q)?;
+        pade_rom(&m.m, q, true)
+    }
+
+    /// A `q`-pole model from a *shifted* expansion about `s₀` (frequency
+    /// hop): the series is matched about `s = s₀` and the resulting poles
+    /// are mapped back to the `s` plane. Accuracy concentrates near `s₀`,
+    /// which resolves far-from-DC poles the Maclaurin series misses.
+    ///
+    /// # Errors
+    ///
+    /// See [`MomentEngine::compute_shifted`] and [`pade_rom`].
+    pub fn rom_shifted(&self, q: usize, s0: f64) -> Result<Rom, AweError> {
+        let m = self.engine.compute_shifted(s0, 2 * q)?;
+        let local = pade_rom(&m.m, q, true)?;
+        // Shift poles back; residues are invariant under the substitution
+        // s ← s − s₀.
+        let poles: Vec<_> = local.poles().iter().map(|&p| p + s0).collect();
+        let residues = local.residues().to_vec();
+        // Recompute H(0) so dc_gain() remains meaningful.
+        let h0: f64 = poles
+            .iter()
+            .zip(residues.iter())
+            .map(|(&p, &k)| (-(k / p)).re)
+            .sum();
+        Ok(Rom::from_parts(
+            poles,
+            residues,
+            vec![h0],
+            local.time_scale(),
+        ))
+    }
+
+    /// A reduced-order model of order at most `q_max` that is guaranteed
+    /// stable: the order is lowered (and RHP poles are discarded with a
+    /// residue refit) until all poles lie in the left half plane.
+    ///
+    /// # Errors
+    ///
+    /// Returns the last Padé failure when no stable model of any order
+    /// down to 1 can be built.
+    pub fn rom_stable(&self, q_max: usize) -> Result<Rom, AweError> {
+        let m = self.engine.compute(2 * q_max)?;
+        let mut last_err = None;
+        for q in (1..=q_max).rev() {
+            match pade_rom(&m.m[..2 * q], q, true) {
+                Ok(rom) => {
+                    if rom.is_stable() {
+                        return Ok(rom);
+                    }
+                    if let Some(fixed) = rom.stabilized() {
+                        return Ok(fixed);
+                    }
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or(AweError::ZeroResponse))
+    }
+
+    /// Adaptive order selection: raises the order until the dominant pole
+    /// moves by less than `rel_tol` between successive orders (or `q_max`
+    /// is hit), returning the converged stable model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Padé failures when not even an order-1 model exists.
+    pub fn rom_adaptive(&self, q_max: usize, rel_tol: f64) -> Result<Rom, AweError> {
+        let m = self.engine.compute(2 * q_max)?;
+        let mut best: Option<Rom> = None;
+        for q in 1..=q_max {
+            let rom = match pade_rom(&m.m[..2 * q], q, true) {
+                Ok(r) => match r.is_stable() {
+                    true => r,
+                    false => match r.stabilized() {
+                        Some(f) => f,
+                        None => continue,
+                    },
+                },
+                Err(_) => continue,
+            };
+            if let Some(prev) = &best {
+                let (Some(a), Some(b)) = (prev.dominant_pole(), rom.dominant_pole()) else {
+                    best = Some(rom);
+                    continue;
+                };
+                if (a - b).abs() <= rel_tol * b.abs() {
+                    return Ok(rom);
+                }
+            }
+            best = Some(rom);
+        }
+        best.ok_or(AweError::ZeroResponse)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awesym_circuit::generators::{fig1_rc, rc_ladder};
+    use awesym_linalg::quadratic_roots;
+
+    #[test]
+    fn fig1_exact_poles_at_order_two() {
+        let (g1, g2, c1, c2) = (1e-3, 1e-3, 1e-9, 2e-9);
+        let w = fig1_rc(g1, g2, c1, c2);
+        let awe = AweAnalysis::new(&w.circuit, w.input, w.output).unwrap();
+        let rom = awe.rom(2).unwrap();
+        // True poles from the exact quadratic denominator.
+        let (r1, r2) = quadratic_roots(g1 * g2, g2 * c1 + g2 * c2 + g1 * c2, c1 * c2);
+        for truth in [r1, r2] {
+            let best = rom
+                .poles()
+                .iter()
+                .map(|p| (*p - truth).abs() / truth.abs())
+                .fold(f64::MAX, f64::min);
+            assert!(best < 1e-9, "pole {truth} missing from {:?}", rom.poles());
+        }
+        assert!((rom.dc_gain() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ladder_rom_matches_ac_analysis() {
+        let w = rc_ladder(40, 25.0, 1e-12);
+        let mna = awesym_mna::Mna::build(&w.circuit).unwrap();
+        let awe = AweAnalysis::new(&w.circuit, w.input, w.output).unwrap();
+        let rom = awe.rom_stable(4).unwrap();
+        // Compare |H| against direct AC analysis up to the dominant corner.
+        let wc = rom.dominant_pole().unwrap().abs();
+        let omegas: Vec<f64> = (0..10).map(|i| wc * (i as f64 + 0.5) / 5.0).collect();
+        let truth = mna.ac_transfer(w.input, w.output, &omegas).unwrap();
+        for (h_rom, h_ac) in omegas.iter().map(|&o| rom.eval_jw(o)).zip(truth.iter()) {
+            assert!(
+                (h_rom - *h_ac).abs() < 0.02 * h_ac.abs().max(1e-3),
+                "{h_rom} vs {h_ac}"
+            );
+        }
+    }
+
+    #[test]
+    fn ladder_step_matches_transient() {
+        let w = rc_ladder(30, 100.0, 1e-12);
+        let mna = awesym_mna::Mna::build(&w.circuit).unwrap();
+        let awe = AweAnalysis::new(&w.circuit, w.input, w.output).unwrap();
+        let rom = awe.rom_stable(3).unwrap();
+        let tau = 1.0 / rom.dominant_pole().unwrap().abs();
+        let opts = awesym_mna::TransientOptions {
+            t_stop: 5.0 * tau,
+            dt: tau / 400.0,
+            method: awesym_mna::IntegrationMethod::Trapezoidal,
+        };
+        let res = awesym_mna::transient(
+            &mna,
+            w.input,
+            &awesym_mna::Waveform::Step { amplitude: 1.0 },
+            &opts,
+            &[w.output],
+        )
+        .unwrap();
+        for (t, v) in res.times.iter().zip(res.traces[0].iter()).step_by(50) {
+            let v_rom = rom.step_response(*t);
+            assert!((v_rom - v).abs() < 0.02, "t={t}: rom {v_rom} vs sim {v}");
+        }
+    }
+
+    #[test]
+    fn rom_stable_backs_off_order() {
+        // Single-pole circuit: q=3 is unobtainable, rom_stable returns q=1.
+        let mut c = awesym_circuit::Circuit::new();
+        let n1 = c.node("1");
+        let n2 = c.node("2");
+        let v = c.add(awesym_circuit::Element::vsource(
+            "V1",
+            n1,
+            awesym_circuit::Circuit::GROUND,
+            1.0,
+        ));
+        c.add(awesym_circuit::Element::resistor("R1", n1, n2, 1e3));
+        c.add(awesym_circuit::Element::capacitor(
+            "C1",
+            n2,
+            awesym_circuit::Circuit::GROUND,
+            1e-9,
+        ));
+        let awe = AweAnalysis::new(&c, v, n2).unwrap();
+        let rom = awe.rom_stable(3).unwrap();
+        assert_eq!(rom.order(), 1);
+        assert!((rom.poles()[0].re + 1e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn shifted_expansion_recovers_exact_poles() {
+        // Order-2 circuit: any expansion point gives the exact poles.
+        let (g1, g2, c1, c2) = (1e-3, 1e-3, 1e-9, 2e-9);
+        let w = fig1_rc(g1, g2, c1, c2);
+        let awe = AweAnalysis::new(&w.circuit, w.input, w.output).unwrap();
+        let exact = awe.rom(2).unwrap();
+        let mut truth: Vec<f64> = exact.poles().iter().map(|p| p.re).collect();
+        truth.sort_by(f64::total_cmp);
+        for s0 in [-1e5, -3e6, 2e5] {
+            let rom = awe.rom_shifted(2, s0).unwrap();
+            let mut got: Vec<f64> = rom.poles().iter().map(|p| p.re).collect();
+            got.sort_by(f64::total_cmp);
+            for (a, b) in got.iter().zip(truth.iter()) {
+                assert!((a - b).abs() < 1e-6 * b.abs(), "s0={s0}: {a} vs {b}");
+            }
+            // H(0) is restored for dc_gain().
+            assert!((rom.dc_gain() - 1.0).abs() < 1e-6, "s0={s0}");
+        }
+    }
+
+    #[test]
+    fn shifted_expansion_resolves_far_pole() {
+        // Large ladder: a single shifted q=1 expansion near a fast pole
+        // estimates it far better than the q=1 Maclaurin expansion, which
+        // only sees the dominant pole.
+        let w = rc_ladder(30, 100.0, 1e-12);
+        let awe = AweAnalysis::new(&w.circuit, w.input, w.output).unwrap();
+        let reference = awe.rom_stable(4).unwrap();
+        let mut ps: Vec<f64> = reference.poles().iter().map(|p| p.re).collect();
+        ps.sort_by(f64::total_cmp);
+        let fast = ps[0]; // most negative observable pole of the q=4 model
+        let rom0 = awe.rom(1).unwrap();
+        let rom_hop = awe.rom_shifted(1, fast * 1.2).unwrap();
+        let err0 = (rom0.poles()[0].re - fast).abs();
+        let err_hop = (rom_hop.poles()[0].re - fast).abs();
+        // The ladder's fast poles cluster, so a q=1 probe stays blurry —
+        // but the hop must still be several times closer than Maclaurin.
+        assert!(
+            err_hop < 0.5 * err0,
+            "hop {err_hop:.3e} vs maclaurin {err0:.3e} (fast pole {fast:.3e})"
+        );
+    }
+
+    #[test]
+    fn adaptive_order_converges() {
+        let w = rc_ladder(60, 10.0, 2e-12);
+        let awe = AweAnalysis::new(&w.circuit, w.input, w.output).unwrap();
+        let rom = awe.rom_adaptive(6, 1e-4).unwrap();
+        assert!(rom.is_stable());
+        assert!(rom.order() >= 2);
+    }
+}

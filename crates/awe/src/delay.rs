@@ -1,0 +1,150 @@
+//! Closed-form interconnect delay metrics built on circuit moments.
+//!
+//! The paper's conclusion positions AWEsymbolic as a modeling methodology
+//! for "interconnect delay in physical CAD design tools". This module
+//! collects the classical moment-based delay estimates that grew out of
+//! AWE, so compiled models can feed timing engines without a full
+//! pole/residue evaluation:
+//!
+//! - **Elmore**: `T_D = −m₁` — the mean of the impulse response, an upper
+//!   bound for the 50 % delay of RC trees;
+//! - **ln2·Elmore**: the step-delay heuristic `T₅₀ ≈ ln2·(−m₁)`;
+//! - **D2M**: `ln2 · m₁²/√m₂` (Ismail et al.) — two moments, markedly
+//!   better accuracy near-resistance-dominated nodes;
+//! - **two-pole**: fit `p₁, p₂` from `m₁…m₃` and solve the 50 % crossing
+//!   of the resulting two-pole step response numerically.
+
+use crate::{pade_rom, AweError};
+
+/// Moment-based delay estimates for one node, all in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayEstimates {
+    /// Elmore delay `−m₁` (mean of the impulse response).
+    pub elmore: f64,
+    /// `ln2 · (−m₁)` step-delay heuristic.
+    pub ln2_elmore: f64,
+    /// The D2M two-moment metric `ln2 · m₁² / √m₂`.
+    pub d2m: f64,
+    /// 50 % delay of the two-pole (q = 2) reduced model, when it exists.
+    pub two_pole: Option<f64>,
+}
+
+/// Computes the delay metric family from transfer-function moments
+/// (`m[0] = DC gain`, unit step assumed, at least 2 moments; 4 for the
+/// two-pole entry).
+///
+/// # Errors
+///
+/// Returns [`AweError::NotEnoughMoments`] when fewer than two moments are
+/// supplied. A failed two-pole fit degrades to `two_pole: None` rather
+/// than erroring — monotone RC nodes sometimes expose only one pole.
+pub fn delay_estimates(moments: &[f64]) -> Result<DelayEstimates, AweError> {
+    if moments.len() < 2 {
+        return Err(AweError::NotEnoughMoments {
+            needed: 2,
+            got: moments.len(),
+        });
+    }
+    let m1 = moments[1];
+    let elmore = -m1;
+    let ln2 = std::f64::consts::LN_2;
+    let d2m = if moments.len() >= 3 && moments[2] > 0.0 {
+        ln2 * m1 * m1 / moments[2].sqrt()
+    } else {
+        ln2 * elmore
+    };
+    // Two-pole fit, degrading to one pole when the circuit exposes only
+    // one (singular q = 2 Hankel system).
+    let two_pole = if moments.len() >= 4 {
+        pade_rom(&moments[..4], 2, true)
+            .ok()
+            .or_else(|| pade_rom(&moments[..2], 1, true).ok())
+            .and_then(|rom| rom.stabilized())
+            .and_then(|rom| rom.delay_50())
+    } else {
+        None
+    };
+    Ok(DelayEstimates {
+        elmore,
+        ln2_elmore: ln2 * elmore,
+        d2m,
+        two_pole,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AweAnalysis, MomentEngine};
+    use awesym_circuit::generators::{rc_ladder, rc_tree};
+    use awesym_mna::Mna;
+
+    fn moments_of(w: &awesym_circuit::generators::Workload, count: usize) -> Vec<f64> {
+        let mna = Mna::build(&w.circuit).unwrap();
+        MomentEngine::new(mna, w.input, w.output)
+            .unwrap()
+            .compute(count)
+            .unwrap()
+            .m
+    }
+
+    #[test]
+    fn single_pole_metrics_are_exact_family() {
+        // H = 1/(1+sτ): Elmore = τ, true 50% delay = ln2·τ, D2M = ln2·τ.
+        let tau = 1e-9;
+        let m = [1.0, -tau, tau * tau, -tau * tau * tau];
+        let d = delay_estimates(&m).unwrap();
+        assert!((d.elmore - tau).abs() < 1e-21);
+        assert!((d.ln2_elmore - std::f64::consts::LN_2 * tau).abs() < 1e-21);
+        assert!((d.d2m - std::f64::consts::LN_2 * tau).abs() < 1e-15);
+        let tp = d.two_pole.unwrap();
+        assert!(
+            (tp - std::f64::consts::LN_2 * tau).abs() < 1e-3 * tau,
+            "{tp}"
+        );
+    }
+
+    #[test]
+    fn metric_accuracy_ordering_on_ladder() {
+        // Reference: the 50% delay of a high-order (q=4) AWE model.
+        let w = rc_ladder(30, 50.0, 0.5e-12);
+        let m = moments_of(&w, 8);
+        let d = delay_estimates(&m).unwrap();
+        let truth = AweAnalysis::new(&w.circuit, w.input, w.output)
+            .unwrap()
+            .rom_stable(4)
+            .unwrap()
+            .delay_50()
+            .unwrap();
+        let err = |x: f64| (x - truth).abs() / truth;
+        // Elmore over-estimates the far-end 50% delay; ln2·Elmore and D2M
+        // both land close; the two-pole fit is the best of the family.
+        assert!(d.elmore > truth, "elmore {} vs truth {truth}", d.elmore);
+        assert!(err(d.d2m) < 0.25, "d2m err {}", err(d.d2m));
+        let tp = d.two_pole.unwrap();
+        assert!(err(tp) < 0.05, "two-pole err {}", err(tp));
+        assert!(err(tp) <= err(d.d2m) + 1e-9);
+    }
+
+    #[test]
+    fn tree_leaf_metrics_behave() {
+        let w = rc_tree(4, 40.0, 0.3e-12);
+        let m = moments_of(&w, 4);
+        let d = delay_estimates(&m).unwrap();
+        assert!(d.elmore > 0.0);
+        assert!(d.d2m > 0.0);
+        assert!(d.two_pole.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn not_enough_moments_is_an_error() {
+        assert!(matches!(
+            delay_estimates(&[1.0]),
+            Err(AweError::NotEnoughMoments { .. })
+        ));
+        // Two moments degrade gracefully (no m2 → D2M falls back).
+        let d = delay_estimates(&[1.0, -1e-9]).unwrap();
+        assert!(d.two_pole.is_none());
+        assert!((d.d2m - d.ln2_elmore).abs() < 1e-21);
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for AWE analyses.
+
+use awesym_linalg::LinalgError;
+use awesym_mna::MnaError;
+use std::fmt;
+
+/// Errors produced by AWE moment computation and model reduction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum AweError {
+    /// The underlying MNA formulation or solve failed.
+    Mna(MnaError),
+    /// A dense solve inside the Padé step failed — usually the circuit has
+    /// fewer observable poles than the requested approximation order.
+    Pade {
+        /// Requested approximation order.
+        order: usize,
+        /// Underlying failure.
+        source: LinalgError,
+    },
+    /// Not enough moments were supplied/computed for the requested order.
+    NotEnoughMoments {
+        /// Moments required.
+        needed: usize,
+        /// Moments available.
+        got: usize,
+    },
+    /// The transfer function is identically zero (no input-output coupling).
+    ZeroResponse,
+}
+
+impl fmt::Display for AweError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AweError::Mna(e) => write!(f, "mna failure: {e}"),
+            AweError::Pade { order, source } => {
+                write!(f, "pade approximation of order {order} failed: {source}")
+            }
+            AweError::NotEnoughMoments { needed, got } => {
+                write!(f, "need {needed} moments, only {got} available")
+            }
+            AweError::ZeroResponse => write!(f, "transfer function is identically zero"),
+        }
+    }
+}
+
+impl std::error::Error for AweError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AweError::Mna(e) => Some(e),
+            AweError::Pade { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<MnaError> for AweError {
+    fn from(e: MnaError) -> Self {
+        AweError::Mna(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = AweError::NotEnoughMoments { needed: 4, got: 2 };
+        assert!(e.to_string().contains("need 4"));
+        assert!(AweError::ZeroResponse.to_string().contains("zero"));
+        let p = AweError::Pade {
+            order: 3,
+            source: LinalgError::Singular { step: 1 },
+        };
+        assert!(p.to_string().contains("order 3"));
+    }
+}

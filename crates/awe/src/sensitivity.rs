@@ -1,0 +1,590 @@
+//! AWEsensitivity: adjoint moment sensitivities chained into pole and zero
+//! sensitivities, and the normalized-element ranking used to select symbols.
+//!
+//! For the MNA system `(G + sC)x = b`, the moment vectors are
+//! `X_k = (−G⁻¹C)^k G⁻¹ b` and the adjoint vectors are
+//! `Y_j = (−G⁻ᵀCᵀ)^j G⁻ᵀ l`. Perturbing an element value `p` gives
+//!
+//! ```text
+//! ∂m_k/∂p = − Σ_{j=0}^{k}   Y_jᵀ (∂G/∂p) X_{k−j}
+//!           − Σ_{j=0}^{k−1} Y_jᵀ (∂C/∂p) X_{k−1−j}
+//! ```
+//!
+//! Pole sensitivities follow by differentiating the moment-matching (Hankel)
+//! system and the denominator polynomial: `∂p_i/∂α = −(Σ_j ∂b_j/∂α · p_i^j)
+//! / b′(p_i)`. All of this costs a handful of back-substitutions on the
+//! already-factored `G` — the "little additional cost" the paper highlights.
+
+use crate::moments::dot;
+use crate::{AweError, MomentEngine, Moments};
+use awesym_circuit::{Circuit, ElementId};
+use awesym_linalg::{solve_hankel, Complex64, Mat, Poly};
+
+/// Adjoint-based sensitivity analysis at a fixed approximation order `q`.
+#[derive(Debug)]
+pub struct SensitivityAnalysis<'a> {
+    engine: &'a MomentEngine,
+    moments: Moments,
+    adjoints: Vec<Vec<f64>>,
+    q: usize,
+    tau: f64,
+}
+
+impl<'a> SensitivityAnalysis<'a> {
+    /// Prepares moment and adjoint vectors for order-`q` sensitivities.
+    ///
+    /// # Errors
+    ///
+    /// Propagates moment-computation failures.
+    pub fn new(engine: &'a MomentEngine, q: usize) -> Result<Self, AweError> {
+        let moments = engine.compute(2 * q)?;
+        let adjoints = engine.adjoint_vectors(2 * q);
+        let tau = if moments.m[0] != 0.0 && moments.m.len() > 1 && moments.m[1] != 0.0 {
+            (moments.m[1] / moments.m[0]).abs()
+        } else {
+            1.0
+        };
+        Ok(SensitivityAnalysis {
+            engine,
+            moments,
+            adjoints,
+            q,
+            tau,
+        })
+    }
+
+    /// The moments underlying this analysis.
+    pub fn moments(&self) -> &[f64] {
+        &self.moments.m
+    }
+
+    /// `∂m_k/∂p` for `k = 0 … 2q−1`, where `p` is the stored value of the
+    /// element (ohms for resistors, farads for capacitors, …).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AweError::Mna`] when the element id is invalid.
+    pub fn moment_sensitivities(
+        &self,
+        circuit: &Circuit,
+        id: ElementId,
+    ) -> Result<Vec<f64>, AweError> {
+        if id.0 >= circuit.num_elements() {
+            return Err(AweError::Mna(awesym_mna::MnaError::BadReference {
+                what: format!("element #{}", id.0),
+            }));
+        }
+        let e = circuit.element(id);
+        let (dg, dc) = self.engine.mna().stamp_derivative(e)?;
+        let n = self.moments.m.len();
+        let mut out = vec![0.0; n];
+        for k in 0..n {
+            let mut s = 0.0;
+            for j in 0..=k {
+                for &(r, c, v) in &dg {
+                    s -= self.adjoints[j][r] * v * self.moments.x[k - j][c];
+                }
+            }
+            for j in 0..k {
+                for &(r, c, v) in &dc {
+                    s -= self.adjoints[j][r] * v * self.moments.x[k - 1 - j][c];
+                }
+            }
+            out[k] = s;
+        }
+        Ok(out)
+    }
+
+    /// Poles of the order-`q` model together with `∂p_i/∂α` for element
+    /// value `α`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Padé failures (singular Hankel system) and bad element
+    /// references.
+    pub fn pole_sensitivities(
+        &self,
+        circuit: &Circuit,
+        id: ElementId,
+    ) -> Result<Vec<(Complex64, Complex64)>, AweError> {
+        let dm = self.moment_sensitivities(circuit, id)?;
+        self.pole_sensitivities_from_dm(&dm)
+    }
+
+    /// Pole sensitivities from a pre-computed `∂m/∂α` vector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Padé failures.
+    pub fn pole_sensitivities_from_dm(
+        &self,
+        dm: &[f64],
+    ) -> Result<Vec<(Complex64, Complex64)>, AweError> {
+        let q = self.q;
+        let wrap = |source| AweError::Pade { order: q, source };
+        // Work in the τ-scaled domain with τ treated as a constant.
+        let ms: Vec<f64> = scale_seq(&self.moments.m, self.tau);
+        let dms: Vec<f64> = scale_seq(dm, self.tau);
+        let b = solve_hankel(&ms, q).map_err(wrap)?;
+        // db from A·db = dr − dA·b with A[r][j] = m_{q+r−j−1}.
+        let a = Mat::from_fn(q, q, |r, j| ms[q + r - (j + 1)]);
+        let rhs: Vec<f64> = (0..q)
+            .map(|r| {
+                let mut v = -dms[q + r];
+                for j in 0..q {
+                    v -= dms[q + r - (j + 1)] * b[j];
+                }
+                v
+            })
+            .collect();
+        let db = a.solve(&rhs).map_err(wrap)?;
+        // Denominator and its roots in the scaled domain.
+        let mut den = vec![1.0];
+        den.extend_from_slice(&b);
+        let poly = Poly::new(den);
+        let dpoly = poly.derivative();
+        let scaled_poles = poly.roots().map_err(wrap)?;
+        let mut out = Vec::with_capacity(q);
+        for &ps in &scaled_poles {
+            // Σ_j db_j p^j  (note db indexes coefficients 1..q).
+            let mut num = Complex64::ZERO;
+            let mut pw = ps;
+            for &dbj in &db {
+                num += dbj * pw;
+                pw *= ps;
+            }
+            let deriv = dpoly.eval_complex(ps);
+            let dps = -num / deriv;
+            // Unscale: p = p_scaled/τ, and dτ = 0 by convention.
+            out.push((ps / self.tau, dps / self.tau));
+        }
+        Ok(out)
+    }
+
+    /// Zeros of the order-`q` model together with `∂z_i/∂α` for element
+    /// value `α`, obtained by differentiating the numerator coefficients
+    /// `a_j = Σ_{i≤j} b_i·m'_{j−i}` of the Padé form.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Padé failures and bad element references.
+    pub fn zero_sensitivities(
+        &self,
+        circuit: &Circuit,
+        id: ElementId,
+    ) -> Result<Vec<(Complex64, Complex64)>, AweError> {
+        let dm = self.moment_sensitivities(circuit, id)?;
+        let q = self.q;
+        let wrap = |source| AweError::Pade { order: q, source };
+        let ms = scale_seq(&self.moments.m, self.tau);
+        let dms = scale_seq(&dm, self.tau);
+        let b = solve_hankel(&ms, q).map_err(wrap)?;
+        let a = Mat::from_fn(q, q, |r, j| ms[q + r - (j + 1)]);
+        let rhs: Vec<f64> = (0..q)
+            .map(|r| {
+                let mut v = -dms[q + r];
+                for j in 0..q {
+                    v -= dms[q + r - (j + 1)] * b[j];
+                }
+                v
+            })
+            .collect();
+        let db = a.solve(&rhs).map_err(wrap)?;
+        // Numerator a_j = Σ_{i=0..j} b_i m'_{j−i} with b_0 = 1 (j < q).
+        let b_full: Vec<f64> = std::iter::once(1.0).chain(b.iter().copied()).collect();
+        let db_full: Vec<f64> = std::iter::once(0.0).chain(db.iter().copied()).collect();
+        let mut a_c = vec![0.0; q];
+        let mut da_c = vec![0.0; q];
+        for j in 0..q {
+            for i in 0..=j {
+                a_c[j] += b_full[i] * ms[j - i];
+                da_c[j] += db_full[i] * ms[j - i] + b_full[i] * dms[j - i];
+            }
+        }
+        let num = Poly::new(a_c.clone());
+        if num.degree() == 0 || num.is_zero() {
+            return Ok(Vec::new());
+        }
+        let dnum = num.derivative();
+        let zeros = num.roots().map_err(wrap)?;
+        let mut out = Vec::with_capacity(zeros.len());
+        for &zs in &zeros {
+            let mut dnval = Complex64::ZERO;
+            let mut pw = Complex64::ONE;
+            for &daj in &da_c {
+                dnval += daj * pw;
+                pw *= zs;
+            }
+            let deriv = dnum.eval_complex(zs);
+            if deriv.abs() == 0.0 {
+                continue;
+            }
+            let dzs = -dnval / deriv;
+            out.push((zs / self.tau, dzs / self.tau));
+        }
+        Ok(out)
+    }
+
+    /// Residues of the order-`q` model together with `∂k_i/∂α`, by
+    /// differentiating the Vandermonde residue system
+    /// `Σ_i k_i/p_i^{j+1} = −m_j`:
+    ///
+    /// ```text
+    /// V·dk = −dm − dV·k,   dV[j][i] = −(j+1)·dp_i / p_i^{j+2}
+    /// ```
+    ///
+    /// Returned tuples are `(pole, residue, ∂residue/∂α)` aligned with
+    /// [`SensitivityAnalysis::pole_sensitivities`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates Padé failures and bad element references.
+    pub fn residue_sensitivities(
+        &self,
+        circuit: &Circuit,
+        id: ElementId,
+    ) -> Result<Vec<(Complex64, Complex64, Complex64)>, AweError> {
+        use awesym_linalg::CMat;
+        let dm = self.moment_sensitivities(circuit, id)?;
+        let pole_info = self.pole_sensitivities_from_dm(&dm)?;
+        let q = self.q;
+        let wrap = |source| AweError::Pade { order: q, source };
+        let poles: Vec<Complex64> = pole_info.iter().map(|(p, _)| *p).collect();
+        let dpoles: Vec<Complex64> = pole_info.iter().map(|(_, dp)| *dp).collect();
+        let residues =
+            awesym_linalg::solve_vandermonde_complex(&poles, &self.moments.m[..q]).map_err(wrap)?;
+        // Assemble V and the RHS −dm − dV·k (note our convention stores
+        // V[j][i] = −1/p^{j+1}, matching solve_vandermonde_complex).
+        let n = q;
+        let mut v = CMat::zeros(n, n);
+        let mut rhs = vec![Complex64::ZERO; n];
+        for j in 0..n {
+            rhs[j] = Complex64::from_re(dm[j]);
+        }
+        for (i, (&p, &dp)) in poles.iter().zip(dpoles.iter()).enumerate() {
+            let inv = p.recip();
+            let mut w = inv; // 1/p^{j+1}, starting at j = 0
+            for j in 0..n {
+                v[(j, i)] = -w;
+                // dV[j][i] = (j+1)·dp/p^{j+2}  (derivative of −p^{−(j+1)}).
+                let dv = (j as f64 + 1.0) * dp * w * inv;
+                rhs[j] -= dv * residues[i];
+                w *= inv;
+            }
+        }
+        let dk = v.solve(&rhs).map_err(wrap)?;
+        Ok(poles
+            .into_iter()
+            .zip(residues)
+            .zip(dk)
+            .map(|((p, k), d)| (p, k, d))
+            .collect())
+    }
+
+    /// Normalized pole sensitivity score of one element:
+    /// `max_i |α · ∂p_i/∂α| / |p_i|`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Padé failures and bad references.
+    pub fn normalized_score(&self, circuit: &Circuit, id: ElementId) -> Result<f64, AweError> {
+        let alpha = circuit.element(id).value;
+        let ps = self.pole_sensitivities(circuit, id)?;
+        Ok(ps
+            .iter()
+            .map(|(p, dp)| {
+                let pa = p.abs();
+                if pa > 0.0 {
+                    (*dp * alpha).abs() / pa
+                } else {
+                    0.0
+                }
+            })
+            .fold(0.0, f64::max))
+    }
+
+    /// Ranks every non-source element by normalized pole sensitivity,
+    /// descending — the paper's automatic mechanism for choosing symbolic
+    /// elements. Elements whose sensitivities cannot be computed are
+    /// skipped.
+    pub fn rank_elements(&self, circuit: &Circuit) -> Vec<(ElementId, f64)> {
+        let mut scores: Vec<(ElementId, f64)> = (0..circuit.num_elements())
+            .filter_map(|i| {
+                let id = ElementId(i);
+                let e = circuit.element(id);
+                use awesym_circuit::ElementKind::*;
+                if matches!(e.kind, Vsource | Isource) {
+                    return None;
+                }
+                self.normalized_score(circuit, id)
+                    .ok()
+                    .filter(|s| s.is_finite())
+                    .map(|s| (id, s))
+            })
+            .collect();
+        scores.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scores
+    }
+
+    /// Sum `lᵀ·X_k` consistency check value (used in tests).
+    #[doc(hidden)]
+    pub fn check_m0(&self) -> f64 {
+        dot(self.engine.selector(), &self.moments.x[0])
+    }
+}
+
+fn scale_seq(m: &[f64], tau: f64) -> Vec<f64> {
+    m.iter()
+        .enumerate()
+        .map(|(k, &v)| v / tau.powi(k as i32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awesym_circuit::generators::fig1_rc;
+    use awesym_circuit::{Circuit, Element};
+    use awesym_mna::Mna;
+
+    fn engine_for(c: &Circuit, input: ElementId, out: awesym_circuit::Node) -> MomentEngine {
+        MomentEngine::new(Mna::build(c).unwrap(), input, out).unwrap()
+    }
+
+    /// Finite-difference reference for ∂m/∂value.
+    fn fd_moments(
+        c: &Circuit,
+        input: ElementId,
+        out: awesym_circuit::Node,
+        id: ElementId,
+        count: usize,
+    ) -> Vec<f64> {
+        let v0 = c.element(id).value;
+        let h = v0.abs() * 1e-6;
+        let mut cp = c.clone();
+        cp.set_value(id, v0 + h);
+        let mp = engine_for(&cp, input, out).compute(count).unwrap().m;
+        let mut cm = c.clone();
+        cm.set_value(id, v0 - h);
+        let mm = engine_for(&cm, input, out).compute(count).unwrap().m;
+        mp.iter()
+            .zip(mm.iter())
+            .map(|(a, b)| (a - b) / (2.0 * h))
+            .collect()
+    }
+
+    #[test]
+    fn moment_sensitivity_matches_finite_difference() {
+        let w = fig1_rc(1e-3, 2e-3, 1e-9, 3e-9);
+        let eng = engine_for(&w.circuit, w.input, w.output);
+        let sens = SensitivityAnalysis::new(&eng, 2).unwrap();
+        for name in ["R1", "R2", "C1", "C2"] {
+            let id = w.circuit.find(name).unwrap();
+            let adj = sens.moment_sensitivities(&w.circuit, id).unwrap();
+            let fd = fd_moments(&w.circuit, w.input, w.output, id, 4);
+            // Exact-zero sensitivities (e.g. ∂m₀/∂R) only show central-
+            // difference rounding noise ≈ ε·|m_k|/h; tolerate that floor.
+            let v0 = w.circuit.element(id).value;
+            let h = v0.abs() * 1e-6;
+            let mom = sens.moments();
+            for (k, (a, f)) in adj.iter().zip(fd.iter()).enumerate() {
+                let noise = 1e-13 * mom[k].abs() / h;
+                assert!(
+                    (a - f).abs() < 1e-4 * f.abs() + noise,
+                    "{name} m{k}: adjoint {a} vs fd {f}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vccs_sensitivity_matches_finite_difference() {
+        // gm stage: V1 → R → node a, VCCS(a) → node b with load R‖C.
+        let mut c = Circuit::new();
+        let n1 = c.node("1");
+        let na = c.node("a");
+        let nb = c.node("b");
+        let v = c.add(Element::vsource("V1", n1, Circuit::GROUND, 1.0));
+        c.add(Element::resistor("Rs", n1, na, 1e3));
+        c.add(Element::capacitor("Ca", na, Circuit::GROUND, 1e-12));
+        let g = c.add(Element::vccs(
+            "G1",
+            nb,
+            Circuit::GROUND,
+            na,
+            Circuit::GROUND,
+            2e-3,
+        ));
+        c.add(Element::resistor("RL", nb, Circuit::GROUND, 5e3));
+        c.add(Element::capacitor("CL", nb, Circuit::GROUND, 2e-12));
+        let eng = engine_for(&c, v, nb);
+        let sens = SensitivityAnalysis::new(&eng, 2).unwrap();
+        let adj = sens.moment_sensitivities(&c, g).unwrap();
+        let fd = fd_moments(&c, v, nb, g, 4);
+        for (a, f) in adj.iter().zip(fd.iter()) {
+            assert!((a - f).abs() / f.abs().max(1e-30) < 1e-4, "{a} vs {f}");
+        }
+    }
+
+    #[test]
+    fn pole_sensitivity_matches_finite_difference() {
+        let w = fig1_rc(1e-3, 2e-3, 1e-9, 3e-9);
+        let eng = engine_for(&w.circuit, w.input, w.output);
+        let sens = SensitivityAnalysis::new(&eng, 2).unwrap();
+        let id = w.circuit.find("C1").unwrap();
+        let ps = sens.pole_sensitivities(&w.circuit, id).unwrap();
+        // Finite difference on the true poles.
+        let poles_of = |c1: f64| {
+            let (g1, g2, c2) = (1e-3, 2e-3, 3e-9);
+            let (r1, r2) =
+                awesym_linalg::quadratic_roots(g1 * g2, g2 * c1 + g2 * c2 + g1 * c2, c1 * c2);
+            let mut v = [r1.re, r2.re];
+            v.sort_by(f64::total_cmp);
+            v
+        };
+        let h = 1e-15;
+        let pp = poles_of(1e-9 + h);
+        let pm = poles_of(1e-9 - h);
+        let fd: Vec<f64> = pp
+            .iter()
+            .zip(pm.iter())
+            .map(|(a, b)| (a - b) / (2.0 * h))
+            .collect();
+        for (p, dp) in &ps {
+            // Match each computed pole with the closest truth slot.
+            let truth_poles = poles_of(1e-9);
+            let idx = if (p.re - truth_poles[0]).abs() < (p.re - truth_poles[1]).abs() {
+                0
+            } else {
+                1
+            };
+            assert!(
+                (dp.re - fd[idx]).abs() / fd[idx].abs().max(1e-30) < 1e-3,
+                "pole {p}: {dp} vs fd {}",
+                fd[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn ranking_separates_significant_elements() {
+        // A huge shunt resistor barely matters; C1 dominates the pole.
+        let mut c = Circuit::new();
+        let n1 = c.node("1");
+        let n2 = c.node("2");
+        let v = c.add(Element::vsource("V1", n1, Circuit::GROUND, 1.0));
+        c.add(Element::resistor("R1", n1, n2, 1e3));
+        c.add(Element::capacitor("C1", n2, Circuit::GROUND, 1e-9));
+        c.add(Element::resistor("Rhuge", n2, Circuit::GROUND, 1e12));
+        let _ = v;
+        let eng = engine_for(&c, v, n2);
+        let sens = SensitivityAnalysis::new(&eng, 1).unwrap();
+        let ranked = sens.rank_elements(&c);
+        assert_eq!(ranked.len(), 3);
+        let pos = |name: &str| {
+            ranked
+                .iter()
+                .position(|(id, _)| c.element(*id).name == name)
+                .unwrap()
+        };
+        assert!(pos("Rhuge") > pos("C1"));
+        assert!(pos("Rhuge") > pos("R1"));
+        // C1 and R1 both set the single pole 1/(R1·C1): equal normalized scores.
+        let s_c1 = ranked[pos("C1")].1;
+        let s_r1 = ranked[pos("R1")].1;
+        assert!((s_c1 - s_r1).abs() / s_c1 < 1e-6);
+        assert!(ranked[pos("Rhuge")].1 < 1e-6);
+    }
+
+    #[test]
+    fn residue_sensitivity_matches_finite_difference() {
+        let w = fig1_rc(1e-3, 2e-3, 1e-9, 3e-9);
+        let eng = engine_for(&w.circuit, w.input, w.output);
+        let sens = SensitivityAnalysis::new(&eng, 2).unwrap();
+        let id = w.circuit.find("C2").unwrap();
+        let triples = sens.residue_sensitivities(&w.circuit, id).unwrap();
+        assert_eq!(triples.len(), 2);
+        // Finite difference on the residues of the order-2 ROM.
+        let residues_at = |c2: f64| -> Vec<(Complex64, Complex64)> {
+            let mut ckt = w.circuit.clone();
+            ckt.set_value(id, c2);
+            let eng = engine_for(&ckt, w.input, w.output);
+            let m = eng.compute(4).unwrap().m;
+            let rom = crate::pade_rom(&m, 2, true).unwrap();
+            rom.poles()
+                .iter()
+                .copied()
+                .zip(rom.residues().iter().copied())
+                .collect()
+        };
+        let h = 3e-9 * 1e-6;
+        let plus = residues_at(3e-9 + h);
+        let minus = residues_at(3e-9 - h);
+        for (p, k, dk) in &triples {
+            // Match by pole.
+            let find = |set: &Vec<(Complex64, Complex64)>, target: Complex64| {
+                set.iter()
+                    .min_by(|a, b| {
+                        (a.0 - target)
+                            .abs()
+                            .partial_cmp(&(b.0 - target).abs())
+                            .unwrap()
+                    })
+                    .unwrap()
+                    .1
+            };
+            let fd = (find(&plus, *p) - find(&minus, *p)) / (2.0 * h);
+            assert!(
+                (*dk - fd).abs() < 1e-3 * fd.abs().max(k.abs() * 1e-6),
+                "pole {p}: dk {dk} vs fd {fd}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_sensitivity_matches_finite_difference() {
+        // Two-stage RC with a feed-forward capacitor: H has a finite zero
+        // whose location moves with Cf.
+        fn build(cf: f64) -> (Circuit, ElementId, awesym_circuit::Node) {
+            let mut c = Circuit::new();
+            let n1 = c.node("1");
+            let n2 = c.node("2");
+            let v = c.add(Element::vsource("V1", n1, Circuit::GROUND, 1.0));
+            c.add(Element::resistor("R1", n1, n2, 1e3));
+            c.add(Element::capacitor("Cf", n1, n2, cf));
+            c.add(Element::capacitor("C1", n2, Circuit::GROUND, 2e-9));
+            c.add(Element::resistor("R2", n2, Circuit::GROUND, 5e3));
+            (c, v, n2)
+        }
+        // True zero: current into n2 through R1 ‖ Cf: zero at s = −1/(R1·Cf).
+        let cf = 1e-9;
+        let (c, v, out) = build(cf);
+        let eng = engine_for(&c, v, out);
+        let sens = SensitivityAnalysis::new(&eng, 2).unwrap();
+        let id = c.find("Cf").unwrap();
+        let zs = sens.zero_sensitivities(&c, id).unwrap();
+        assert_eq!(zs.len(), 1);
+        let (z, dz) = zs[0];
+        assert!(
+            (z.re + 1.0 / (1e3 * cf)).abs() < 1e-3 * z.re.abs(),
+            "zero {z}"
+        );
+        // dz/dCf = +1/(R1·Cf²).
+        let truth = 1.0 / (1e3 * cf * cf);
+        assert!(
+            (dz.re - truth).abs() < 1e-3 * truth,
+            "dz {dz} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn bad_element_reference_is_error() {
+        let w = fig1_rc(1e-3, 1e-3, 1e-9, 1e-9);
+        let eng = engine_for(&w.circuit, w.input, w.output);
+        let sens = SensitivityAnalysis::new(&eng, 1).unwrap();
+        assert!(sens
+            .moment_sensitivities(&w.circuit, ElementId(999))
+            .is_err());
+        assert!(sens.check_m0().is_finite());
+    }
+}

@@ -1,0 +1,44 @@
+//! The linearized 741 through AWE: sanity of DC gain, dominant pole,
+//! unity-gain frequency and phase margin, and the AWEsensitivity-based
+//! symbol selection the paper relies on.
+
+use awesym_awe::sensitivity::SensitivityAnalysis;
+use awesym_awe::AweAnalysis;
+use awesym_circuit::generators::opamp741;
+
+#[test]
+fn opamp_dc_gain_and_bandwidth_are_plausible() {
+    let amp = opamp741();
+    let awe = AweAnalysis::new(&amp.circuit, amp.input, amp.output).expect("analysis");
+    let rom = awe.rom_stable(2).expect("rom");
+    let a0 = rom.dc_gain().abs();
+    // A 741 has tens of thousands of V/V; our linearization must land in
+    // the high-gain regime (>1e3) for the experiments to be meaningful.
+    assert!(a0 > 1e3, "dc gain {a0}");
+    // Dominant (Miller) pole: a few Hz to a few hundred Hz.
+    let p1 = rom.dominant_pole().expect("pole").abs() / (2.0 * std::f64::consts::PI);
+    assert!(p1 > 0.05 && p1 < 1e4, "dominant pole {p1} Hz");
+    // Unity-gain frequency in the hundreds of kHz to tens of MHz.
+    let fu = rom.unity_gain_omega().expect("crossover") / (2.0 * std::f64::consts::PI);
+    assert!(fu > 5e4 && fu < 5e7, "unity gain {fu} Hz");
+    let pm = rom.phase_margin_deg().expect("pm");
+    assert!(pm > 0.0 && pm < 180.0, "phase margin {pm}");
+}
+
+#[test]
+fn compensation_cap_ranks_among_most_sensitive_capacitors() {
+    let amp = opamp741();
+    let awe = AweAnalysis::new(&amp.circuit, amp.input, amp.output).expect("analysis");
+    let sens = SensitivityAnalysis::new(awe.engine(), 2).expect("sens");
+    let ranked = sens.rank_elements(&amp.circuit);
+    assert!(!ranked.is_empty());
+    // c_comp must appear in the top tier of capacitor sensitivities — it
+    // sets the dominant pole, which is why the paper selects it as symbol.
+    let caps: Vec<&str> = ranked
+        .iter()
+        .filter(|(id, _)| amp.circuit.element(*id).kind == awesym_circuit::ElementKind::Capacitor)
+        .map(|(id, _)| amp.circuit.element(*id).name.as_str())
+        .collect();
+    let pos = caps.iter().position(|n| *n == "c_comp").expect("ranked");
+    assert!(pos < 5, "c_comp rank among caps: {pos} ({caps:?})");
+}

@@ -1,0 +1,51 @@
+//! The §1 claim: AWE is more than an order of magnitude faster than
+//! SPICE-class (implicit transient) simulation for this class of problem.
+
+use awesym_awe::AweAnalysis;
+use awesym_circuit::generators::rc_ladder;
+use awesym_mna::{transient, IntegrationMethod, Mna, TransientOptions, Waveform};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_awe_vs_transient(c: &mut Criterion) {
+    let mut group = c.benchmark_group("awe_vs_transient");
+    group.sample_size(10);
+    for n in [200usize, 1000] {
+        let w = rc_ladder(n, 10.0, 0.1e-12);
+        let mna = Mna::build(&w.circuit).unwrap();
+        // Pre-compute the horizon from a throwaway ROM so both methods
+        // cover the same time span.
+        let tau = {
+            let a = AweAnalysis::new(&w.circuit, w.input, w.output).unwrap();
+            1.0 / a.rom_stable(3).unwrap().dominant_pole().unwrap().abs()
+        };
+        group.bench_with_input(BenchmarkId::new("awe_rom", n), &n, |b, _| {
+            b.iter(|| {
+                let a = AweAnalysis::new(&w.circuit, w.input, w.output).unwrap();
+                black_box(a.rom_stable(3).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("trapezoidal", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    transient(
+                        &mna,
+                        w.input,
+                        &Waveform::Step { amplitude: 1.0 },
+                        &TransientOptions {
+                            t_stop: 5.0 * tau,
+                            dt: tau / 200.0,
+                            method: IntegrationMethod::Trapezoidal,
+                        },
+                        &[w.output],
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_awe_vs_transient);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! §3.2 timings (criterion form): incremental evaluation of the coupled-
+//! line cross-talk model vs a full AWE re-analysis of the 1000-segment
+//! circuit, plus the one-time compile cost at several line lengths.
+
+use awesym_bench::{full_awe_moments, lines_workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_lines(c: &mut Criterion) {
+    let w = lines_workload(1000).expect("workload");
+    let r0 = w.spec.rdrv;
+    let c0 = w.spec.cload;
+    let mut group = c.benchmark_group("lines_per_iteration");
+    let mut scratch = vec![0.0; w.crosstalk.scratch_len()];
+    let mut out = vec![0.0; 4];
+    group.bench_function("crosstalk_eval", |b| {
+        b.iter(|| {
+            w.crosstalk
+                .eval_moments_into(black_box(&[r0 * 1.3, c0 * 0.7]), &mut scratch, &mut out);
+            black_box(out[1])
+        })
+    });
+    group.sample_size(10);
+    group.bench_function("full_awe_reanalysis", |b| {
+        b.iter(|| {
+            black_box(full_awe_moments(
+                &w.circuit,
+                &[(w.rdrv[0], r0 * 1.3), (w.rdrv[1], r0 * 1.3)],
+                w.input,
+                w.victim_out,
+                4,
+            ))
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("lines_compile");
+    group.sample_size(10);
+    for segments in [100usize, 300, 1000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(segments),
+            &segments,
+            |b, &segments| b.iter(|| black_box(lines_workload(segments).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lines);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Substrate benchmarks: sparse LU, moment recursion, Padé, and the tape
+//! evaluator — the building blocks whose costs explain the headline
+//! numbers.
+
+use awesym_awe::{pade_rom, MomentEngine};
+use awesym_circuit::generators::rc_ladder;
+use awesym_mna::Mna;
+use awesym_sparse::{LuOptions, SparseLu};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_sparse_lu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sparse_lu_factor");
+    for n in [100usize, 1000, 4000] {
+        let w = rc_ladder(n, 10.0, 1e-12);
+        let mna = Mna::build(&w.circuit).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(SparseLu::factor(mna.g(), LuOptions::default()).unwrap()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("sparse_lu_solve");
+    for n in [1000usize, 4000] {
+        let w = rc_ladder(n, 10.0, 1e-12);
+        let mna = Mna::build(&w.circuit).unwrap();
+        let lu = SparseLu::factor(mna.g(), LuOptions::default()).unwrap();
+        let rhs = vec![1.0; mna.dim()];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(lu.solve(black_box(&rhs))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_moments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("moment_recursion_8_moments");
+    for n in [200usize, 1000, 4000] {
+        let w = rc_ladder(n, 10.0, 1e-12);
+        let mna = Mna::build(&w.circuit).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let eng = MomentEngine::new(mna.clone(), w.input, w.output).unwrap();
+                black_box(eng.compute(8).unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pade(c: &mut Criterion) {
+    // Moments of a realistic 4-pole response.
+    let poles = [-1e6, -2e7, -3e8, -4e9];
+    let res = [1e6, -1e7, 2e8, -1e9];
+    let moments: Vec<f64> = (0..8)
+        .map(|j| {
+            -poles
+                .iter()
+                .zip(res.iter())
+                .map(|(&p, &k): (&f64, &f64)| k / p.powi(j + 1))
+                .sum::<f64>()
+        })
+        .collect();
+    let mut group = c.benchmark_group("pade");
+    for q in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(q), &q, |b, &q| {
+            b.iter(|| black_box(pade_rom(black_box(&moments[..2 * q]), q, true).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_tape(c: &mut Criterion) {
+    let w = awesym_bench::opamp_workload(2).unwrap();
+    let g0 = w.model.nominal()[0];
+    let c0 = w.model.nominal()[1];
+    let mut scratch = vec![0.0; w.model.scratch_len()];
+    let mut out = vec![0.0; 4];
+    c.bench_function("tape_eval_opamp_113_ops", |b| {
+        b.iter(|| {
+            w.model
+                .eval_moments_into(black_box(&[g0, c0]), &mut scratch, &mut out);
+            black_box(out[0])
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sparse_lu,
+    bench_moments,
+    bench_pade,
+    bench_tape
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Table 1 (criterion form): per-iteration cost of one model evaluation,
+//! compiled AWEsymbolic vs a full AWE re-analysis, on the linearized 741.
+
+use awesym_bench::{full_awe_moments, opamp_workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let w = opamp_workload(2).expect("workload");
+    let g0 = w.model.nominal()[0];
+    let c0 = w.model.nominal()[1];
+    let mut group = c.benchmark_group("table1_per_iteration");
+
+    let mut scratch = vec![0.0; w.model.scratch_len()];
+    let mut out = vec![0.0; 4];
+    group.bench_function("awesymbolic_eval", |b| {
+        b.iter(|| {
+            w.model
+                .eval_moments_into(black_box(&[g0 * 1.1, c0 * 0.9]), &mut scratch, &mut out);
+            black_box(out[0])
+        })
+    });
+    group.bench_function("awesymbolic_eval_plus_pade", |b| {
+        b.iter(|| black_box(w.model.rom(black_box(&[g0 * 1.1, c0 * 0.9])).unwrap()))
+    });
+    group.sample_size(20);
+    group.bench_function("full_awe_reanalysis", |b| {
+        b.iter(|| {
+            black_box(full_awe_moments(
+                &w.circuit,
+                &[(w.ro_q14, 1.0 / (g0 * 1.1)), (w.c_comp, c0 * 0.9)],
+                w.input,
+                w.output,
+                4,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

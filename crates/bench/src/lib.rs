@@ -1,0 +1,270 @@
+//! Shared harness for the paper-reproduction experiments and benchmarks.
+//!
+//! Everything the `paper` binary and the criterion benches need: the two
+//! evaluation workloads compiled exactly as in the paper (§3.1 linearized
+//! 741 with symbols `g_out,Q14` and `Ccomp`; §3.2 coupled RC lines with
+//! symbols `Rdrv` and `Cload`), parameter grids, timing helpers, and CSV
+//! output.
+
+#![forbid(unsafe_code)]
+
+use awesymbolic::prelude::*;
+use awesymbolic::PartitionError;
+use std::io::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+/// The §3.1 workload: compiled second-order symbolic model of the 741.
+pub struct OpAmpWorkload {
+    /// The circuit (172 linear elements).
+    pub circuit: Circuit,
+    /// Driving source.
+    pub input: ElementId,
+    /// Output node.
+    pub output: Node,
+    /// `ro_q14` id (value = 1/g_out,Q14).
+    pub ro_q14: ElementId,
+    /// `c_comp` id.
+    pub c_comp: ElementId,
+    /// Compiled model over `[g_out_q14, c_comp]`.
+    pub model: CompiledModel,
+    /// Time spent compiling the model.
+    pub compile_time: std::time::Duration,
+}
+
+/// Builds the op-amp workload at the given order.
+///
+/// # Errors
+///
+/// Propagates compilation failures.
+pub fn opamp_workload(order: usize) -> Result<OpAmpWorkload, PartitionError> {
+    let amp = generators::opamp741();
+    let t0 = Instant::now();
+    let model = SymbolicAwe::new(&amp.circuit, amp.input, amp.output)
+        .order(order)
+        .symbol_named("g_out_q14", "ro_q14", SymbolRole::Conductance)?
+        .symbol_named("c_comp", "c_comp", SymbolRole::Capacitance)?
+        .compile()?;
+    let compile_time = t0.elapsed();
+    Ok(OpAmpWorkload {
+        circuit: amp.circuit,
+        input: amp.input,
+        output: amp.output,
+        ro_q14: amp.ro_q14,
+        c_comp: amp.c_comp,
+        model,
+        compile_time,
+    })
+}
+
+/// The §3.2 workload: compiled models for both outputs of the coupled
+/// lines.
+pub struct LinesWorkload {
+    /// The circuit (5005 elements at 1000 segments).
+    pub circuit: Circuit,
+    /// Line specification used.
+    pub spec: generators::CoupledLineSpec,
+    /// Driving source.
+    pub input: ElementId,
+    /// Driver resistor ids.
+    pub rdrv: [ElementId; 2],
+    /// Load capacitor ids.
+    pub cload: [ElementId; 2],
+    /// First-order direct-transmission model over `[rdrv, cload]`.
+    pub direct: CompiledModel,
+    /// Second-order cross-talk model over `[rdrv, cload]`.
+    pub crosstalk: CompiledModel,
+    /// Victim-line output node.
+    pub victim_out: Node,
+    /// Aggressor-line output node.
+    pub aggressor_out: Node,
+    /// Time spent compiling both models.
+    pub compile_time: std::time::Duration,
+}
+
+/// Builds the coupled-line workload with the given segment count (the
+/// paper uses 1000).
+///
+/// # Errors
+///
+/// Propagates compilation failures.
+pub fn lines_workload(segments: usize) -> Result<LinesWorkload, PartitionError> {
+    let spec = generators::CoupledLineSpec {
+        segments,
+        ..Default::default()
+    };
+    let lines = generators::coupled_lines(&spec);
+    let t0 = Instant::now();
+    let direct = SymbolicAwe::new(&lines.circuit, lines.input, lines.aggressor_out)
+        .order(1)
+        .symbol(SymbolBinding::resistance("rdrv", lines.rdrv.to_vec()))
+        .symbol(SymbolBinding::capacitance("cload", lines.cload.to_vec()))
+        .compile()?;
+    let crosstalk = SymbolicAwe::new(&lines.circuit, lines.input, lines.victim_out)
+        .order(2)
+        .symbol(SymbolBinding::resistance("rdrv", lines.rdrv.to_vec()))
+        .symbol(SymbolBinding::capacitance("cload", lines.cload.to_vec()))
+        .compile()?;
+    let compile_time = t0.elapsed();
+    Ok(LinesWorkload {
+        circuit: lines.circuit,
+        spec,
+        input: lines.input,
+        rdrv: lines.rdrv,
+        cload: lines.cload,
+        direct,
+        crosstalk,
+        victim_out: lines.victim_out,
+        aggressor_out: lines.aggressor_out,
+        compile_time,
+    })
+}
+
+/// A logarithmic grid of `n` points spanning `center/span .. center·span`.
+pub fn log_grid(center: f64, span: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2, "grid needs at least two points");
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / (n - 1) as f64;
+            center / span * (span * span).powf(t)
+        })
+        .collect()
+}
+
+/// Times one full (non-partitioned) AWE moment analysis of a circuit with
+/// updated element values: re-stamp, factor, recurse — the per-datapoint
+/// cost column of Table 1.
+///
+/// # Panics
+///
+/// Panics when the analysis fails (the harness circuits are well posed).
+pub fn full_awe_moments(
+    circuit: &Circuit,
+    edits: &[(ElementId, f64)],
+    input: ElementId,
+    output: Node,
+    count: usize,
+) -> Vec<f64> {
+    let mut c2 = circuit.clone();
+    for &(id, v) in edits {
+        c2.set_value(id, v);
+    }
+    let awe = AweAnalysis::new(&c2, input, output).expect("awe analysis");
+    awe.moments(count).expect("moments").m
+}
+
+/// Median-of-runs wall-clock timer.
+pub fn time_median<R>(reps: usize, mut f: impl FnMut() -> R) -> f64 {
+    assert!(reps > 0, "need at least one repetition");
+    let mut times: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Writes a surface `z(x, y)` as CSV (`x,y,z` rows).
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_surface_csv(
+    path: &Path,
+    header: &str,
+    xs: &[f64],
+    ys: &[f64],
+    mut z: impl FnMut(f64, f64) -> f64,
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{header}")?;
+    for &x in xs {
+        for &y in ys {
+            writeln!(f, "{x:e},{y:e},{:e}", z(x, y))?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes line series (`t, series1, series2, …`) as CSV.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn write_series_csv(
+    path: &Path,
+    header: &str,
+    ts: &[f64],
+    series: &[Vec<f64>],
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "{header}")?;
+    for (i, &t) in ts.iter().enumerate() {
+        write!(f, "{t:e}")?;
+        for s in series {
+            write!(f, ",{:e}", s[i])?;
+        }
+        writeln!(f)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_grid_shape() {
+        let g = log_grid(1.0, 10.0, 5);
+        assert_eq!(g.len(), 5);
+        assert!((g[0] - 0.1).abs() < 1e-12);
+        assert!((g[4] - 10.0).abs() < 1e-12);
+        assert!((g[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opamp_workload_builds() {
+        let w = opamp_workload(2).unwrap();
+        assert_eq!(w.model.symbols().len(), 2);
+        let m = w.model.eval_moments(w.model.nominal());
+        assert!(m[0].abs() > 1e3);
+    }
+
+    #[test]
+    fn lines_workload_builds_small() {
+        let w = lines_workload(50).unwrap();
+        assert_eq!(w.direct.order(), 1);
+        assert_eq!(w.crosstalk.order(), 2);
+        let vals = [w.spec.rdrv, w.spec.cload];
+        assert!((w.direct.dc_gain(&vals) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timer_returns_positive() {
+        let t = time_median(3, || (0..1000).sum::<u64>());
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn csv_writers_produce_files() {
+        let dir = std::env::temp_dir().join("awesym_bench_test");
+        let p1 = dir.join("surface.csv");
+        write_surface_csv(&p1, "x,y,z", &[1.0, 2.0], &[3.0], |x, y| x + y).unwrap();
+        let text = std::fs::read_to_string(&p1).unwrap();
+        assert!(text.lines().count() == 3);
+        let p2 = dir.join("series.csv");
+        write_series_csv(&p2, "t,a", &[0.0, 1.0], &[vec![5.0, 6.0]]).unwrap();
+        let text = std::fs::read_to_string(&p2).unwrap();
+        assert!(text.contains("1e0,6e0"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,783 @@
+//! Workload generators reproducing the paper's example circuits.
+
+use crate::{Circuit, Element, ElementId, Node};
+
+/// A generated circuit together with its driving source and observed node.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// The circuit.
+    pub circuit: Circuit,
+    /// Id of the independent source that drives the analysis.
+    pub input: ElementId,
+    /// Node whose voltage is the observed output.
+    pub output: Node,
+}
+
+/// The Fig. 1 sample RC circuit of the paper.
+///
+/// Topology: `vin —R1(=1/g1)— n1 —R2(=1/g2)— n2`, with `C1` at `n1` and
+/// `C2` at `n2`; output is `v(n2)`. Its exact transfer function is the
+/// paper's eq. (5):
+///
+/// ```text
+/// H(s) = G1·G2 / (C1·C2·s² + (G2·C1 + G2·C2 + G1·C2)·s + G1·G2)
+/// ```
+///
+/// # Example
+///
+/// ```
+/// use awesym_circuit::generators::fig1_rc;
+///
+/// let w = fig1_rc(1e-3, 2e-3, 1e-9, 2e-9);
+/// assert_eq!(w.circuit.num_elements(), 5);
+/// ```
+pub fn fig1_rc(g1: f64, g2: f64, c1: f64, c2: f64) -> Workload {
+    let mut c = Circuit::new();
+    let vin = c.node("in");
+    let n1 = c.node("1");
+    let n2 = c.node("2");
+    let input = c.add(Element::vsource("vin", vin, Circuit::GROUND, 1.0));
+    c.add(Element::resistor("R1", vin, n1, 1.0 / g1));
+    c.add(Element::capacitor("C1", n1, Circuit::GROUND, c1));
+    c.add(Element::resistor("R2", n1, n2, 1.0 / g2));
+    c.add(Element::capacitor("C2", n2, Circuit::GROUND, c2));
+    Workload {
+        circuit: c,
+        input,
+        output: n2,
+    }
+}
+
+/// A uniform RC ladder with `n` sections driven by a voltage source; the
+/// output is the far-end node. A classic distributed-interconnect stand-in.
+///
+/// # Panics
+///
+/// Panics when `n == 0`.
+pub fn rc_ladder(n: usize, r_per_seg: f64, c_per_seg: f64) -> Workload {
+    assert!(n > 0, "ladder needs at least one section");
+    let mut c = Circuit::new();
+    let vin = c.node("in");
+    let input = c.add(Element::vsource("vin", vin, Circuit::GROUND, 1.0));
+    let mut prev = vin;
+    let mut last = prev;
+    for i in 0..n {
+        let node = c.node(&format!("n{}", i + 1));
+        c.add(Element::resistor(
+            &format!("R{}", i + 1),
+            prev,
+            node,
+            r_per_seg,
+        ));
+        c.add(Element::capacitor(
+            &format!("C{}", i + 1),
+            node,
+            Circuit::GROUND,
+            c_per_seg,
+        ));
+        prev = node;
+        last = node;
+    }
+    Workload {
+        circuit: c,
+        input,
+        output: last,
+    }
+}
+
+/// A balanced binary RC tree of the given depth (a physical-design
+/// interconnect topology). Each branch contributes a series resistor and a
+/// grounded capacitor; the output is the first leaf.
+///
+/// # Panics
+///
+/// Panics when `depth == 0`.
+pub fn rc_tree(depth: usize, r_per_branch: f64, c_per_branch: f64) -> Workload {
+    assert!(depth > 0, "tree needs depth >= 1");
+    let mut c = Circuit::new();
+    let vin = c.node("in");
+    let input = c.add(Element::vsource("vin", vin, Circuit::GROUND, 1.0));
+    let root = c.node("root");
+    c.add(Element::resistor("Rdrv", vin, root, r_per_branch));
+    c.add(Element::capacitor(
+        "Cdrv",
+        root,
+        Circuit::GROUND,
+        c_per_branch,
+    ));
+    let mut frontier = vec![root];
+    let mut counter = 0usize;
+    let mut first_leaf = root;
+    for level in 0..depth {
+        let mut next = Vec::new();
+        for &parent in &frontier {
+            for _ in 0..2 {
+                counter += 1;
+                let node = c.node(&format!("t{counter}"));
+                c.add(Element::resistor(
+                    &format!("Rt{counter}"),
+                    parent,
+                    node,
+                    r_per_branch,
+                ));
+                c.add(Element::capacitor(
+                    &format!("Ct{counter}"),
+                    node,
+                    Circuit::GROUND,
+                    c_per_branch,
+                ));
+                next.push(node);
+            }
+        }
+        if level == depth - 1 {
+            first_leaf = next[0];
+        }
+        frontier = next;
+    }
+    Workload {
+        circuit: c,
+        input,
+        output: first_leaf,
+    }
+}
+
+/// Parameters for the Fig. 8 coupled-line workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoupledLineSpec {
+    /// Number of lumped segments per line (the paper uses 1000).
+    pub segments: usize,
+    /// Total line resistance, distributed uniformly over the segments.
+    pub total_r: f64,
+    /// Total line-to-ground capacitance per line.
+    pub total_c: f64,
+    /// Total line-to-line coupling capacitance.
+    pub total_cc: f64,
+    /// Thevenin driver resistance (the symbolic element `rdrv`).
+    pub rdrv: f64,
+    /// Load capacitance at each far end (the symbolic element `cload`).
+    pub cload: f64,
+}
+
+impl Default for CoupledLineSpec {
+    fn default() -> Self {
+        // A plausible 10 mm global wire in an early-90s technology:
+        // 200 Ω total, 2 pF ground capacitance, 1 pF coupling.
+        CoupledLineSpec {
+            segments: 1000,
+            total_r: 200.0,
+            total_c: 2e-12,
+            total_cc: 1e-12,
+            rdrv: 100.0,
+            cload: 0.5e-12,
+        }
+    }
+}
+
+/// The two symmetric coupled RC lines of Fig. 8.
+///
+/// Line 1 (the aggressor) is driven by the voltage source through `rdrv1`;
+/// line 2 (the victim) has its driver input grounded through `rdrv2`. Both
+/// far ends carry load capacitors `cload1`/`cload2`. The returned
+/// [`CoupledLines::aggressor_out`] and [`CoupledLines::victim_out`] nodes
+/// give the direct-transmission and cross-talk observation points.
+///
+/// # Panics
+///
+/// Panics when `spec.segments == 0`.
+pub fn coupled_lines(spec: &CoupledLineSpec) -> CoupledLines {
+    assert!(spec.segments > 0, "need at least one segment");
+    let n = spec.segments;
+    let rs = spec.total_r / n as f64;
+    let cs = spec.total_c / n as f64;
+    let ccs = spec.total_cc / n as f64;
+    let mut c = Circuit::new();
+    let vin = c.node("in");
+    let input = c.add(Element::vsource("vin", vin, Circuit::GROUND, 1.0));
+    let a0 = c.node("a0");
+    let b0 = c.node("b0");
+    let rdrv1 = c.add(Element::resistor("rdrv1", vin, a0, spec.rdrv));
+    let rdrv2 = c.add(Element::resistor("rdrv2", Circuit::GROUND, b0, spec.rdrv));
+    let mut pa = a0;
+    let mut pb = b0;
+    for i in 1..=n {
+        let na = c.node(&format!("a{i}"));
+        let nb = c.node(&format!("b{i}"));
+        c.add(Element::resistor(&format!("ra{i}"), pa, na, rs));
+        c.add(Element::resistor(&format!("rb{i}"), pb, nb, rs));
+        c.add(Element::capacitor(
+            &format!("ca{i}"),
+            na,
+            Circuit::GROUND,
+            cs,
+        ));
+        c.add(Element::capacitor(
+            &format!("cb{i}"),
+            nb,
+            Circuit::GROUND,
+            cs,
+        ));
+        c.add(Element::capacitor(&format!("cc{i}"), na, nb, ccs));
+        pa = na;
+        pb = nb;
+    }
+    let cload1 = c.add(Element::capacitor(
+        "cload1",
+        pa,
+        Circuit::GROUND,
+        spec.cload,
+    ));
+    let cload2 = c.add(Element::capacitor(
+        "cload2",
+        pb,
+        Circuit::GROUND,
+        spec.cload,
+    ));
+    CoupledLines {
+        circuit: c,
+        input,
+        aggressor_out: pa,
+        victim_out: pb,
+        rdrv: [rdrv1, rdrv2],
+        cload: [cload1, cload2],
+    }
+}
+
+/// Result of [`coupled_lines`].
+#[derive(Debug, Clone)]
+pub struct CoupledLines {
+    /// The circuit.
+    pub circuit: Circuit,
+    /// Driving source on line 1.
+    pub input: ElementId,
+    /// Far end of the driven line (direct transmission output).
+    pub aggressor_out: Node,
+    /// Far end of the quiet line (cross-talk output).
+    pub victim_out: Node,
+    /// Driver resistors `[rdrv1, rdrv2]` — bind both to the symbol `rdrv`.
+    pub rdrv: [ElementId; 2],
+    /// Load capacitors `[cload1, cload2]` — bind both to the symbol `cload`.
+    pub cload: [ElementId; 2],
+}
+
+/// Small-signal hybrid-π BJT parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BjtSmallSignal {
+    /// Transconductance (S).
+    pub gm: f64,
+    /// Base-emitter resistance (Ω).
+    pub rpi: f64,
+    /// Output resistance (Ω).
+    pub ro: f64,
+    /// Base spreading resistance (Ω).
+    pub rb: f64,
+    /// Base-emitter capacitance (F).
+    pub cpi: f64,
+    /// Base-collector capacitance (F).
+    pub cmu: f64,
+    /// Collector-substrate capacitance (F), 0 to omit.
+    pub ccs: f64,
+}
+
+impl BjtSmallSignal {
+    /// Parameters derived from collector bias current `ic` with typical 741
+    /// process constants (β = 200, VA = 50 V, fT-class capacitances).
+    pub fn at_current(ic: f64) -> Self {
+        let vt = 0.02585;
+        let beta = 200.0;
+        let va = 50.0;
+        let gm = ic / vt;
+        BjtSmallSignal {
+            gm,
+            rpi: beta / gm,
+            ro: va / ic,
+            rb: 200.0,
+            cpi: 10e-12 * (ic / 500e-6).max(0.05),
+            cmu: 2e-12,
+            ccs: 3e-12,
+        }
+    }
+
+    /// Same bias point but without the substrate capacitance.
+    pub fn without_ccs(mut self) -> Self {
+        self.ccs = 0.0;
+        self
+    }
+}
+
+/// Stamps a hybrid-π BJT: `rb`, `rpi`, `gm` VCCS, `ro`, `cpi`, `cmu`, and
+/// optionally `ccs`. Returns nothing; elements are named `<kind>_<name>`.
+fn add_bjt(c: &mut Circuit, name: &str, b: Node, col: Node, e: Node, p: &BjtSmallSignal) {
+    let bi = c.node(&format!("{name}_bi"));
+    c.add(Element::resistor(&format!("rb_{name}"), b, bi, p.rb));
+    c.add(Element::resistor(&format!("rpi_{name}"), bi, e, p.rpi));
+    c.add(Element::vccs(&format!("gm_{name}"), col, e, bi, e, p.gm));
+    c.add(Element::resistor(&format!("ro_{name}"), col, e, p.ro));
+    c.add(Element::capacitor(&format!("cpi_{name}"), bi, e, p.cpi));
+    c.add(Element::capacitor(&format!("cmu_{name}"), bi, col, p.cmu));
+    if p.ccs > 0.0 {
+        c.add(Element::capacitor(
+            &format!("ccs_{name}"),
+            col,
+            Circuit::GROUND,
+            p.ccs,
+        ));
+    }
+}
+
+/// Result of [`opamp741`].
+#[derive(Debug, Clone)]
+pub struct OpAmp741 {
+    /// The linearized circuit.
+    pub circuit: Circuit,
+    /// Driving source at the non-inverting input.
+    pub input: ElementId,
+    /// Output node.
+    pub output: Node,
+    /// The compensation capacitor `c_comp` (the paper's symbol `Ccomp`).
+    pub c_comp: ElementId,
+    /// The output-transistor output resistance `ro_q14`
+    /// (its conductance is the paper's symbol `g_out,Q14`).
+    pub ro_q14: ElementId,
+}
+
+/// A structurally faithful linearized 741 operational amplifier (Fig. 3).
+///
+/// Every transistor of the classic schematic that carries signal or shapes
+/// the bias impedances is present as a hybrid-π model; supplies are AC
+/// ground. See `DESIGN.md` §4 for the substitution rationale. The element
+/// and storage counts land in the paper's reported range (≈170 linear
+/// elements, ≈62 energy-storage elements).
+///
+/// # Example
+///
+/// ```
+/// use awesym_circuit::generators::opamp741;
+///
+/// let amp = opamp741();
+/// assert!(amp.circuit.num_elements() > 150);
+/// assert!(amp.circuit.num_storage_elements() > 55);
+/// ```
+pub fn opamp741() -> OpAmp741 {
+    let mut c = Circuit::new();
+    let gnd = Circuit::GROUND;
+
+    // Bias currents (A) per stage, classic 741 values.
+    let i_in = 9.5e-6; // input transistors
+    let i_mid = 550e-6; // second stage
+    let i_out = 1.0e-3; // output stage
+    let i_bias = 19e-6; // bias chain
+
+    let q_in = BjtSmallSignal::at_current(i_in);
+    let q_mid = BjtSmallSignal::at_current(i_mid);
+    let q_out = BjtSmallSignal::at_current(i_out);
+    let q_bias = BjtSmallSignal::at_current(i_bias).without_ccs();
+
+    // --- Input drive.
+    let vin = c.node("in");
+    let input = c.add(Element::vsource("vin", vin, gnd, 1.0));
+    let b1 = c.node("b1");
+    let b2 = c.node("b2");
+    c.add(Element::resistor("rs1", vin, b1, 1e3));
+    c.add(Element::resistor("rs2", gnd, b2, 1e3));
+
+    // --- Input stage: Q1/Q2 emitter followers into Q3/Q4 common base.
+    let e1 = c.node("e1");
+    let e2 = c.node("e2");
+    let cq12 = c.node("cq12"); // Q1/Q2 collectors (bias rail)
+    add_bjt(&mut c, "q1", b1, cq12, e1, &q_in);
+    add_bjt(&mut c, "q2", b2, cq12, e2, &q_in);
+    let nb1 = c.node("nb1"); // Q3/Q4 base bias node
+    let m1 = c.node("m1"); // mirror input
+    let o1 = c.node("o1"); // first-stage output
+    add_bjt(&mut c, "q3", nb1, m1, e1, &q_in);
+    add_bjt(&mut c, "q4", nb1, o1, e2, &q_in);
+
+    // --- Active load mirror Q5/Q6 with helper Q7.
+    let e5 = c.node("e5");
+    let e6 = c.node("e6");
+    let b56 = c.node("b56");
+    add_bjt(&mut c, "q5", b56, m1, e5, &q_in);
+    add_bjt(&mut c, "q6", b56, o1, e6, &q_in);
+    // Q7 buffers the mirror input onto the shared base node b56 (its
+    // emitter ties directly to b56, as in the real schematic).
+    add_bjt(&mut c, "q7", m1, gnd, b56, &q_bias);
+    c.add(Element::resistor("re5", e5, gnd, 1e3));
+    c.add(Element::resistor("re6", e6, gnd, 1e3));
+    c.add(Element::resistor("rb56", b56, gnd, 50e3));
+
+    // --- Input-stage bias: Q8 diode at the Q1/Q2 collector rail,
+    //     Q9 current source, Q10/Q11 Widlar chain biasing nb1.
+    //     Q9's base is tied to the quiet bias reference (AC ground) —
+    //     the DC common-mode loop is not part of the small-signal model,
+    //     see DESIGN.md §4.
+    let e8 = c.node("e8");
+    add_bjt(&mut c, "q8", cq12, cq12, e8, &q_bias);
+    c.add(Element::resistor("re8", e8, gnd, 1e3));
+    add_bjt(&mut c, "q9", gnd, nb1, gnd, &q_bias);
+    let e10 = c.node("e10");
+    add_bjt(&mut c, "q10", nb1, nb1, e10, &q_bias);
+    c.add(Element::resistor("re10", e10, gnd, 5e3));
+    add_bjt(&mut c, "q11", nb1, gnd, gnd, &q_bias);
+
+    // --- Second stage: Darlington Q16 → Q17, current-source load Q13B.
+    let o2 = c.node("o2");
+    let e16 = c.node("e16");
+    add_bjt(
+        &mut c,
+        "q16",
+        o1,
+        gnd,
+        e16,
+        &BjtSmallSignal::at_current(16e-6),
+    );
+    c.add(Element::resistor("r9", e16, gnd, 50e3));
+    let e17 = c.node("e17");
+    add_bjt(&mut c, "q17", e16, o2, e17, &q_mid);
+    c.add(Element::resistor("r8", e17, gnd, 100.0));
+    // Q13B: current-source load; its collector is the *top* of the output
+    // stage (Q14's base side), with the floating VBE multiplier between the
+    // top node and Q17's collector.
+    let o2t = c.node("o2t");
+    add_bjt(
+        &mut c,
+        "q13b",
+        gnd,
+        o2t,
+        gnd,
+        &BjtSmallSignal::at_current(i_mid),
+    );
+    // Q12 pairs with Q13 in the real bias chain; diode-connected at ground
+    // rail with its impedance visible from o2 through Q13's cmu.
+    let e12n = c.node("e12n");
+    add_bjt(&mut c, "q12", e12n, e12n, gnd, &q_bias);
+    c.add(Element::resistor("re12", e12n, gnd, 40e3));
+
+    // Miller compensation: the paper's symbol Ccomp.
+    let c_comp = c.add(Element::capacitor("c_comp", o1, o2, 30e-12));
+
+    // --- Output stage: floating VBE multiplier Q18/Q19 between o2t and o2,
+    //     followers Q14 (from the top) and Q20 (from the bottom).
+    let o2m = c.node("o2m"); // multiplier tap
+    let e18 = c.node("e18");
+    add_bjt(&mut c, "q18", o2m, o2t, e18, &q_bias);
+    c.add(Element::resistor("re18", e18, o2, 100.0));
+    add_bjt(&mut c, "q19", o2t, o2t, o2m, &q_bias);
+    c.add(Element::resistor("r10", o2m, o2, 200.0));
+    let out = c.node("out");
+    // Q14: NPN follower; its ro is the paper's symbolic element g_out,Q14.
+    let bi14 = c.node("q14_bi");
+    c.add(Element::resistor("rb_q14", o2t, bi14, q_out.rb));
+    c.add(Element::resistor("rpi_q14", bi14, out, q_out.rpi));
+    c.add(Element::vccs("gm_q14", gnd, out, bi14, out, q_out.gm));
+    let ro_q14 = c.add(Element::resistor("ro_q14", gnd, out, 75e3));
+    c.add(Element::capacitor("cpi_q14", bi14, out, q_out.cpi));
+    c.add(Element::capacitor("cmu_q14", bi14, gnd, q_out.cmu));
+    // Q20: complementary follower from the multiplier bottom.
+    add_bjt(&mut c, "q20", o2, gnd, out, &q_out);
+    // Short-circuit protection devices Q15/Q21-Q24 contribute parasitics.
+    let e15 = c.node("e15");
+    add_bjt(&mut c, "q15", out, o2t, e15, &q_bias);
+    c.add(Element::resistor("r6", e15, out, 27.0));
+    // Q21 senses the load current across r6 (base-emitter ≈ 0 in normal
+    // operation), collector at the second-stage output.
+    add_bjt(&mut c, "q21", e15, o2, out, &q_bias);
+    let e22 = c.node("e22");
+    add_bjt(&mut c, "q22", o1, gnd, e22, &q_bias);
+    c.add(Element::resistor("re22", e22, gnd, 10e3));
+    // Q23: current-source load at the first-stage output (base on the
+    // quiet bias rail so it does not close a shunt-feedback loop).
+    add_bjt(&mut c, "q23", gnd, o1, gnd, &q_bias);
+    add_bjt(&mut c, "q24", e22, e22, gnd, &q_bias);
+
+    // --- Load.
+    c.add(Element::resistor("rl", out, gnd, 2e3));
+    c.add(Element::capacitor("cl", out, gnd, 100e-12));
+
+    OpAmp741 {
+        circuit: c,
+        input,
+        output: out,
+        c_comp,
+        ro_q14,
+    }
+}
+
+/// A rectangular RC mesh (power-grid-like topology): `rows × cols` nodes,
+/// horizontal and vertical resistors, a grounded capacitor at every node.
+/// Driven at the top-left corner, observed at the bottom-right.
+///
+/// # Panics
+///
+/// Panics when `rows` or `cols` is zero.
+pub fn rc_mesh(rows: usize, cols: usize, r_per_edge: f64, c_per_node: f64) -> Workload {
+    assert!(rows > 0 && cols > 0, "mesh needs at least one node");
+    let mut c = Circuit::new();
+    let vin = c.node("in");
+    let input = c.add(Element::vsource("vin", vin, Circuit::GROUND, 1.0));
+    let mut nodes = vec![vec![Circuit::GROUND; cols]; rows];
+    for (i, row) in nodes.iter_mut().enumerate() {
+        for (j, slot) in row.iter_mut().enumerate() {
+            *slot = c.node(&format!("m{i}_{j}"));
+        }
+    }
+    c.add(Element::resistor("rdrv", vin, nodes[0][0], r_per_edge));
+    for i in 0..rows {
+        for j in 0..cols {
+            c.add(Element::capacitor(
+                &format!("cm{i}_{j}"),
+                nodes[i][j],
+                Circuit::GROUND,
+                c_per_node,
+            ));
+            if j + 1 < cols {
+                c.add(Element::resistor(
+                    &format!("rh{i}_{j}"),
+                    nodes[i][j],
+                    nodes[i][j + 1],
+                    r_per_edge,
+                ));
+            }
+            if i + 1 < rows {
+                c.add(Element::resistor(
+                    &format!("rv{i}_{j}"),
+                    nodes[i][j],
+                    nodes[i + 1][j],
+                    r_per_edge,
+                ));
+            }
+        }
+    }
+    Workload {
+        circuit: c,
+        input,
+        output: nodes[rows - 1][cols - 1],
+    }
+}
+
+/// A balanced H-tree clock distribution network of the given depth: each
+/// level halves the wire length (R and C scale by ½), leaves carry sink
+/// capacitors. Output is the first leaf.
+///
+/// # Panics
+///
+/// Panics when `levels == 0`.
+pub fn h_tree(levels: usize, trunk_r: f64, trunk_c: f64, sink_c: f64) -> Workload {
+    assert!(levels > 0, "tree needs at least one level");
+    let mut c = Circuit::new();
+    let vin = c.node("in");
+    let input = c.add(Element::vsource("vin", vin, Circuit::GROUND, 1.0));
+    let mut frontier = vec![vin];
+    let mut counter = 0usize;
+    let mut first_leaf = vin;
+    for level in 0..levels {
+        let scale = 0.5f64.powi(level as i32);
+        let (r, cc) = (trunk_r * scale, trunk_c * scale);
+        let mut next = Vec::with_capacity(frontier.len() * 2);
+        for &parent in &frontier {
+            for _ in 0..2 {
+                counter += 1;
+                let mid = c.node(&format!("h{counter}m"));
+                let end = c.node(&format!("h{counter}e"));
+                // Π-model per branch: C/2 — R — C/2.
+                c.add(Element::resistor(&format!("hr{counter}"), mid, end, r));
+                c.add(Element::resistor(
+                    &format!("hrs{counter}"),
+                    parent,
+                    mid,
+                    r * 0.5,
+                ));
+                c.add(Element::capacitor(
+                    &format!("hc{counter}a"),
+                    mid,
+                    Circuit::GROUND,
+                    cc * 0.5,
+                ));
+                c.add(Element::capacitor(
+                    &format!("hc{counter}b"),
+                    end,
+                    Circuit::GROUND,
+                    cc * 0.5,
+                ));
+                next.push(end);
+            }
+        }
+        if level == levels - 1 {
+            first_leaf = next[0];
+            for (k, &leaf) in next.iter().enumerate() {
+                c.add(Element::capacitor(
+                    &format!("sink{k}"),
+                    leaf,
+                    Circuit::GROUND,
+                    sink_c,
+                ));
+            }
+        }
+        frontier = next;
+    }
+    Workload {
+        circuit: c,
+        input,
+        output: first_leaf,
+    }
+}
+
+/// A lossy RLC transmission line (N lumped RLC segments): exercises the
+/// inductor branch stamps and produces complex pole pairs / ringing.
+///
+/// # Panics
+///
+/// Panics when `segments == 0`.
+pub fn rlc_line(
+    segments: usize,
+    total_r: f64,
+    total_l: f64,
+    total_c: f64,
+    rdrv: f64,
+    cload: f64,
+) -> Workload {
+    assert!(segments > 0, "line needs at least one segment");
+    let n = segments;
+    let (rs, ls, cs) = (total_r / n as f64, total_l / n as f64, total_c / n as f64);
+    let mut c = Circuit::new();
+    let vin = c.node("in");
+    let input = c.add(Element::vsource("vin", vin, Circuit::GROUND, 1.0));
+    let first = c.node("t0");
+    c.add(Element::resistor("rdrv", vin, first, rdrv));
+    let mut prev = first;
+    for i in 1..=n {
+        let mid = c.node(&format!("t{i}m"));
+        let node = c.node(&format!("t{i}"));
+        c.add(Element::resistor(&format!("tr{i}"), prev, mid, rs));
+        c.add(Element::inductor(&format!("tl{i}"), mid, node, ls));
+        c.add(Element::capacitor(
+            &format!("tc{i}"),
+            node,
+            Circuit::GROUND,
+            cs,
+        ));
+        prev = node;
+    }
+    c.add(Element::capacitor("cload", prev, Circuit::GROUND, cload));
+    Workload {
+        circuit: c,
+        input,
+        output: prev,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_structure() {
+        let w = fig1_rc(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(w.circuit.num_elements(), 5);
+        assert_eq!(w.circuit.num_storage_elements(), 2);
+        assert_eq!(w.circuit.node_name(w.output), "2");
+    }
+
+    #[test]
+    fn ladder_counts() {
+        let w = rc_ladder(10, 1.0, 1e-12);
+        assert_eq!(w.circuit.num_elements(), 1 + 20);
+        assert_eq!(w.circuit.num_storage_elements(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one section")]
+    fn ladder_zero_panics() {
+        rc_ladder(0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn tree_counts() {
+        let w = rc_tree(3, 10.0, 1e-13);
+        // 2 + 4 + 8 = 14 branches + driver.
+        assert_eq!(w.circuit.num_storage_elements(), 15);
+        assert!(w.circuit.num_elements() >= 30);
+    }
+
+    #[test]
+    fn coupled_lines_counts() {
+        let spec = CoupledLineSpec {
+            segments: 10,
+            ..Default::default()
+        };
+        let w = coupled_lines(&spec);
+        // vin + 2 drivers + 10*(2R + 3C) + 2 loads
+        assert_eq!(w.circuit.num_elements(), 1 + 2 + 50 + 2);
+        assert_eq!(w.circuit.num_storage_elements(), 32);
+        assert_ne!(w.aggressor_out, w.victim_out);
+        // Total line resistance is preserved.
+        let r: f64 = w
+            .circuit
+            .elements()
+            .iter()
+            .filter(|e| e.name.starts_with("ra"))
+            .map(|e| e.value)
+            .sum();
+        assert!((r - spec.total_r).abs() < 1e-9);
+    }
+
+    #[test]
+    fn opamp_counts_match_paper_range() {
+        let amp = opamp741();
+        let n = amp.circuit.num_elements();
+        let s = amp.circuit.num_storage_elements();
+        // Paper: 170 linear elements, 62 energy-storage elements.
+        assert!((150..=200).contains(&n), "element count {n}");
+        assert!((55..=75).contains(&s), "storage count {s}");
+        assert!(amp.circuit.find("c_comp").is_some());
+        assert!(amp.circuit.find("ro_q14").is_some());
+    }
+
+    #[test]
+    fn mesh_counts() {
+        let w = rc_mesh(3, 4, 5.0, 1e-13);
+        // 12 caps + edges: horizontal 3*3=9, vertical 2*4=8, +driver, +vin.
+        assert_eq!(w.circuit.num_storage_elements(), 12);
+        assert_eq!(w.circuit.num_elements(), 1 + 1 + 12 + 9 + 8);
+        assert_eq!(w.circuit.node_name(w.output), "m2_3");
+    }
+
+    #[test]
+    fn h_tree_counts() {
+        let w = h_tree(3, 100.0, 1e-12, 5e-13);
+        // Branches: 2 + 4 + 8 = 14, each 2R + 2C; 8 sinks.
+        assert_eq!(w.circuit.num_storage_elements(), 14 * 2 + 8);
+        assert!(w.circuit.find("sink0").is_some());
+    }
+
+    #[test]
+    fn rlc_line_counts() {
+        let w = rlc_line(5, 10.0, 1e-9, 1e-12, 50.0, 1e-13);
+        let inductors = w
+            .circuit
+            .elements()
+            .iter()
+            .filter(|e| e.kind == crate::ElementKind::Inductor)
+            .count();
+        assert_eq!(inductors, 5);
+        assert_eq!(w.circuit.num_storage_elements(), 5 + 5 + 1);
+        // Total inductance preserved.
+        let l: f64 = w
+            .circuit
+            .elements()
+            .iter()
+            .filter(|e| e.kind == crate::ElementKind::Inductor)
+            .map(|e| e.value)
+            .sum();
+        assert!((l - 1e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn bjt_parameters_scale_with_current() {
+        let lo = BjtSmallSignal::at_current(10e-6);
+        let hi = BjtSmallSignal::at_current(1e-3);
+        assert!(hi.gm > lo.gm);
+        assert!(hi.ro < lo.ro);
+        assert!(hi.rpi < lo.rpi);
+        assert_eq!(lo.without_ccs().ccs, 0.0);
+    }
+}

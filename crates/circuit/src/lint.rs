@@ -1,0 +1,257 @@
+//! Netlist sanity checks — catches the common formulation mistakes before
+//! they surface as cryptic "singular matrix" failures downstream.
+
+use crate::{Circuit, ElementKind, Node};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A problem found by [`lint`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LintIssue {
+    /// A node has no DC (resistive/source) path to ground: the MNA `G`
+    /// matrix will be singular.
+    FloatingNode {
+        /// The offending node.
+        node: Node,
+        /// Its name.
+        name: String,
+    },
+    /// An element value is non-positive where that is non-physical
+    /// (R, C, L must be positive).
+    NonPositiveValue {
+        /// Element name.
+        element: String,
+        /// The stored value.
+        value: f64,
+    },
+    /// A CCCS/CCVS references a control branch that does not exist or
+    /// carries no explicit current.
+    DanglingControl {
+        /// Element name.
+        element: String,
+        /// The missing branch name.
+        branch: String,
+    },
+    /// The circuit has no independent source to analyze.
+    NoSource,
+    /// A node connects to exactly one element terminal (dead end with no
+    /// effect unless it is a source or probe point).
+    DanglingNode {
+        /// The node.
+        node: Node,
+        /// Its name.
+        name: String,
+    },
+}
+
+impl fmt::Display for LintIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LintIssue::FloatingNode { name, .. } => {
+                write!(
+                    f,
+                    "node '{name}' has no dc path to ground (G will be singular)"
+                )
+            }
+            LintIssue::NonPositiveValue { element, value } => {
+                write!(f, "element {element} has non-positive value {value}")
+            }
+            LintIssue::DanglingControl { element, branch } => {
+                write!(
+                    f,
+                    "element {element} controls from missing branch '{branch}'"
+                )
+            }
+            LintIssue::NoSource => write!(f, "circuit has no independent source"),
+            LintIssue::DanglingNode { name, .. } => {
+                write!(f, "node '{name}' connects to a single terminal")
+            }
+        }
+    }
+}
+
+/// Checks a circuit for the problems that make analyses fail or lie.
+///
+/// Returns the issues found (empty = clean). This is a *heuristic* DC-path
+/// check: it treats resistors, inductors, voltage-defined sources and
+/// controlled-source output branches as DC-conducting, which matches the
+/// MNA structure used by the analyses.
+pub fn lint(circuit: &Circuit) -> Vec<LintIssue> {
+    let mut issues = Vec::new();
+    let n = circuit.num_nodes();
+
+    // Branch names that carry explicit currents.
+    let branches: HashSet<&str> = circuit
+        .elements()
+        .iter()
+        .filter(|e| e.needs_branch_current())
+        .map(|e| e.name.as_str())
+        .collect();
+
+    let mut has_source = false;
+    // Union-find over nodes through DC-conducting elements.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let union = |parent: &mut [usize], a: usize, b: usize| {
+        let (ra, rb) = (find(parent, a), find(parent, b));
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    };
+
+    let mut degree = vec![0usize; n];
+    for e in circuit.elements() {
+        match e.kind {
+            ElementKind::Vsource | ElementKind::Isource => has_source = true,
+            _ => {}
+        }
+        // Terminal degree (controlled-source sense terminals excluded —
+        // they draw no current).
+        degree[e.p.0] += 1;
+        degree[e.n.0] += 1;
+        // DC conduction.
+        let conducts = matches!(
+            e.kind,
+            ElementKind::Resistor
+                | ElementKind::Inductor
+                | ElementKind::Vsource
+                | ElementKind::Vcvs
+                | ElementKind::Ccvs
+        );
+        if conducts {
+            union(&mut parent, e.p.0, e.n.0);
+        }
+        // Value sanity for passives.
+        if matches!(
+            e.kind,
+            ElementKind::Resistor | ElementKind::Capacitor | ElementKind::Inductor
+        ) && e.value <= 0.0
+        {
+            issues.push(LintIssue::NonPositiveValue {
+                element: e.name.clone(),
+                value: e.value,
+            });
+        }
+        // Control references.
+        if matches!(e.kind, ElementKind::Cccs | ElementKind::Ccvs)
+            && !branches.contains(e.ctrl_branch.as_str())
+        {
+            issues.push(LintIssue::DanglingControl {
+                element: e.name.clone(),
+                branch: e.ctrl_branch.clone(),
+            });
+        }
+    }
+
+    if !has_source {
+        issues.push(LintIssue::NoSource);
+    }
+
+    let ground_root = find(&mut parent, 0);
+    for k in 1..n {
+        let node = Node(k);
+        if find(&mut parent, k) != ground_root {
+            issues.push(LintIssue::FloatingNode {
+                node,
+                name: circuit.node_name(node).to_string(),
+            });
+        } else if degree[k] == 1 {
+            issues.push(LintIssue::DanglingNode {
+                node,
+                name: circuit.node_name(node).to_string(),
+            });
+        }
+    }
+    issues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Element;
+
+    #[test]
+    fn clean_circuit_has_no_issues() {
+        let w = crate::generators::rc_ladder(5, 10.0, 1e-12);
+        assert!(lint(&w.circuit).is_empty());
+    }
+
+    #[test]
+    fn opamp_is_clean() {
+        let amp = crate::generators::opamp741();
+        let issues = lint(&amp.circuit);
+        assert!(issues.is_empty(), "{issues:?}");
+    }
+
+    #[test]
+    fn cap_only_node_is_floating() {
+        let mut c = Circuit::new();
+        let n1 = c.node("1");
+        let n2 = c.node("iso");
+        c.add(Element::vsource("V1", n1, Circuit::GROUND, 1.0));
+        c.add(Element::resistor("R1", n1, Circuit::GROUND, 1.0));
+        c.add(Element::capacitor("C1", n2, Circuit::GROUND, 1e-12));
+        let issues = lint(&c);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, LintIssue::FloatingNode { name, .. } if name == "iso")));
+    }
+
+    #[test]
+    fn bad_values_flagged() {
+        let mut c = Circuit::new();
+        let n1 = c.node("1");
+        c.add(Element::vsource("V1", n1, Circuit::GROUND, 1.0));
+        c.add(Element::resistor("R1", n1, Circuit::GROUND, -5.0));
+        let issues = lint(&c);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, LintIssue::NonPositiveValue { element, .. } if element == "R1")));
+    }
+
+    #[test]
+    fn dangling_control_flagged() {
+        let mut c = Circuit::new();
+        let n1 = c.node("1");
+        c.add(Element::vsource("V1", n1, Circuit::GROUND, 1.0));
+        c.add(Element::resistor("R1", n1, Circuit::GROUND, 1.0));
+        c.add(Element::cccs("F1", n1, Circuit::GROUND, "Vmissing", 2.0));
+        let issues = lint(&c);
+        assert!(issues.iter().any(
+            |i| matches!(i, LintIssue::DanglingControl { branch, .. } if branch == "Vmissing")
+        ));
+    }
+
+    #[test]
+    fn no_source_flagged() {
+        let mut c = Circuit::new();
+        let n1 = c.node("1");
+        c.add(Element::resistor("R1", n1, Circuit::GROUND, 1.0));
+        assert!(lint(&c).contains(&LintIssue::NoSource));
+    }
+
+    #[test]
+    fn dangling_node_flagged() {
+        let mut c = Circuit::new();
+        let n1 = c.node("1");
+        let stub = c.node("stub");
+        c.add(Element::vsource("V1", n1, Circuit::GROUND, 1.0));
+        c.add(Element::resistor("R1", n1, Circuit::GROUND, 1.0));
+        c.add(Element::resistor("R2", n1, stub, 1.0));
+        let issues = lint(&c);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, LintIssue::DanglingNode { name, .. } if name == "stub")));
+        // Display forms are non-empty.
+        for i in &issues {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The [`Circuit`] container.
+
+use crate::{Element, ElementId, ElementKind, Node};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A linear(ized) circuit: a set of named nodes and a list of elements.
+///
+/// Nodes are created on demand by [`Circuit::node`]; node `0` is ground and
+/// always exists. Elements are appended with [`Circuit::add`] and retrieved
+/// by [`ElementId`] or by name.
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    elements: Vec<Element>,
+    node_names: Vec<String>,
+    by_name: HashMap<String, ElementId>,
+    node_by_name: HashMap<String, Node>,
+}
+
+impl Circuit {
+    /// The ground node.
+    pub const GROUND: Node = Node(0);
+
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        let mut c = Circuit {
+            elements: Vec::new(),
+            node_names: vec!["0".to_string()],
+            by_name: HashMap::new(),
+            node_by_name: HashMap::new(),
+        };
+        c.node_by_name.insert("0".to_string(), Node(0));
+        c.node_by_name.insert("gnd".to_string(), Node(0));
+        c
+    }
+
+    /// Returns the node with the given name, creating it if needed.
+    /// `"0"` and `"gnd"` (any case) are ground.
+    pub fn node(&mut self, name: &str) -> Node {
+        let key = name.to_ascii_lowercase();
+        if let Some(&n) = self.node_by_name.get(&key) {
+            return n;
+        }
+        let n = Node(self.node_names.len());
+        self.node_names.push(name.to_string());
+        self.node_by_name.insert(key, n);
+        n
+    }
+
+    /// Creates a fresh anonymous node.
+    pub fn fresh_node(&mut self) -> Node {
+        let name = format!("_n{}", self.node_names.len());
+        self.node(&name)
+    }
+
+    /// Number of nodes including ground.
+    pub fn num_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// Name of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the node does not belong to this circuit.
+    pub fn node_name(&self, n: Node) -> &str {
+        &self.node_names[n.0]
+    }
+
+    /// Looks up a node by name without creating it.
+    pub fn find_node(&self, name: &str) -> Option<Node> {
+        self.node_by_name.get(&name.to_ascii_lowercase()).copied()
+    }
+
+    /// Appends an element and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an element with the same name already exists or when the
+    /// element references nodes that were not created through this circuit.
+    pub fn add(&mut self, e: Element) -> ElementId {
+        assert!(
+            !self.by_name.contains_key(&e.name),
+            "duplicate element name {}",
+            e.name
+        );
+        for node in [e.p, e.n, e.cp, e.cn] {
+            assert!(
+                node.0 < self.num_nodes(),
+                "element {} references unknown node",
+                e.name
+            );
+        }
+        let id = ElementId(self.elements.len());
+        self.by_name.insert(e.name.clone(), id);
+        self.elements.push(e);
+        id
+    }
+
+    /// All elements in insertion order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// The element with the given id.
+    pub fn element(&self, id: ElementId) -> &Element {
+        &self.elements[id.0]
+    }
+
+    /// Mutable access to an element's value (for sweeps).
+    pub fn set_value(&mut self, id: ElementId, value: f64) {
+        self.elements[id.0].value = value;
+    }
+
+    /// Finds an element id by name.
+    pub fn find(&self, name: &str) -> Option<ElementId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of elements.
+    pub fn num_elements(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Number of energy-storage elements (capacitors and inductors).
+    pub fn num_storage_elements(&self) -> usize {
+        self.elements.iter().filter(|e| e.kind.is_storage()).count()
+    }
+
+    /// Ids of all independent sources.
+    pub fn sources(&self) -> Vec<ElementId> {
+        self.elements
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e.kind, ElementKind::Vsource | ElementKind::Isource))
+            .map(|(i, _)| ElementId(i))
+            .collect()
+    }
+
+    /// Serializes to a SPICE-like netlist accepted by
+    /// [`crate::parse_spice`], using node *names* so a parse round trip
+    /// preserves lookups.
+    pub fn to_spice(&self) -> String {
+        let mut out = String::from("* AWEsymbolic netlist\n");
+        let name = |n: Node| self.node_name(n);
+        for e in &self.elements {
+            use crate::ElementKind::*;
+            let _ = match e.kind {
+                Vccs | Vcvs => writeln!(
+                    out,
+                    "{} {} {} {} {} {:e}",
+                    e.name,
+                    name(e.p),
+                    name(e.n),
+                    name(e.cp),
+                    name(e.cn),
+                    e.value
+                ),
+                Cccs | Ccvs => writeln!(
+                    out,
+                    "{} {} {} {} {:e}",
+                    e.name,
+                    name(e.p),
+                    name(e.n),
+                    e.ctrl_branch,
+                    e.value
+                ),
+                _ => writeln!(out, "{} {} {} {:e}", e.name, name(e.p), name(e.n), e.value),
+            };
+        }
+        out.push_str(".end\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_deduplicate_case_insensitively() {
+        let mut c = Circuit::new();
+        let a = c.node("N1");
+        let b = c.node("n1");
+        assert_eq!(a, b);
+        assert_eq!(c.node("gnd"), Circuit::GROUND);
+        assert_eq!(c.node("0"), Circuit::GROUND);
+    }
+
+    #[test]
+    fn fresh_nodes_are_unique() {
+        let mut c = Circuit::new();
+        let a = c.fresh_node();
+        let b = c.fresh_node();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut c = Circuit::new();
+        let n1 = c.node("1");
+        let id = c.add(Element::resistor("R1", n1, Circuit::GROUND, 10.0));
+        assert_eq!(c.find("R1"), Some(id));
+        assert_eq!(c.element(id).value, 10.0);
+        c.set_value(id, 20.0);
+        assert_eq!(c.element(id).value, 20.0);
+        assert_eq!(c.find("R2"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate element name")]
+    fn duplicate_name_panics() {
+        let mut c = Circuit::new();
+        let n1 = c.node("1");
+        c.add(Element::resistor("R1", n1, Circuit::GROUND, 1.0));
+        c.add(Element::resistor("R1", n1, Circuit::GROUND, 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown node")]
+    fn unknown_node_panics() {
+        let mut c = Circuit::new();
+        c.add(Element::resistor("R1", Node(5), Circuit::GROUND, 1.0));
+    }
+
+    #[test]
+    fn statistics() {
+        let mut c = Circuit::new();
+        let n1 = c.node("1");
+        let n2 = c.node("2");
+        c.add(Element::vsource("V1", n1, Circuit::GROUND, 1.0));
+        c.add(Element::resistor("R1", n1, n2, 1.0));
+        c.add(Element::capacitor("C1", n2, Circuit::GROUND, 1.0));
+        c.add(Element::inductor("L1", n2, Circuit::GROUND, 1.0));
+        assert_eq!(c.num_elements(), 4);
+        assert_eq!(c.num_storage_elements(), 2);
+        assert_eq!(c.sources().len(), 1);
+    }
+
+    #[test]
+    fn spice_round_trip() {
+        let mut c = Circuit::new();
+        let n1 = c.node("1");
+        let n2 = c.node("2");
+        c.add(Element::vsource("V1", n1, Circuit::GROUND, 1.0));
+        c.add(Element::resistor("R1", n1, n2, 1e3));
+        c.add(Element::capacitor("C1", n2, Circuit::GROUND, 1e-12));
+        let text = c.to_spice();
+        let c2 = crate::parse_spice(&text).unwrap();
+        assert_eq!(c2.num_elements(), 3);
+        assert_eq!(c2.element(c2.find("R1").unwrap()).value, 1e3);
+    }
+}

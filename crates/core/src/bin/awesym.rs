@@ -1,0 +1,13 @@
+//! `awesym` — the command-line front end; see `awesymbolic::cli`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match awesymbolic::cli::run(&refs) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,679 @@
+//! The `awesym` command-line tool: netlist in, analysis out.
+//!
+//! This is the repository's analog of AWEsim [Huang/Raghavan/Rohrer]: a
+//! driver that parses a SPICE-subset netlist and runs the AWE and
+//! AWEsymbolic analyses from the shell. The logic lives here (testable);
+//! `src/bin/awesym.rs` is a thin wrapper.
+
+use crate::{
+    parse_spice, AweAnalysis, Circuit, CompiledModel, ElementId, ElementKind, Node, SymbolBinding,
+    SymbolRole,
+};
+use std::fmt::Write as _;
+
+/// Runs the CLI with `args` (excluding the program name) and returns the
+/// output text.
+///
+/// # Errors
+///
+/// Returns a human-readable error string for bad usage, parse failures, or
+/// analysis failures.
+pub fn run(args: &[&str]) -> Result<String, String> {
+    let mut it = args.iter().copied();
+    let cmd = it.next().ok_or_else(usage)?;
+    let rest: Vec<&str> = it.collect();
+    match cmd {
+        "lint" => cmd_lint(&rest),
+        "poles" => cmd_poles(&rest),
+        "sweep" => cmd_sweep(&rest),
+        "model" => cmd_model(&rest),
+        "eval" => cmd_eval(&rest),
+        "op" => cmd_op(&rest),
+        "linearize" => cmd_linearize(&rest),
+        "ac" => cmd_ac(&rest),
+        "tran" => cmd_tran(&rest),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(format!("unknown command '{other}'\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "\
+awesym — compiled symbolic circuit analysis (AWEsymbolic, DAC 1992)
+
+USAGE:
+  awesym lint  <netlist>
+  awesym poles <netlist> --input <src> --output <node> [--order q]
+  awesym sweep <netlist> --input <src> --output <node> --symbol <elem>[:role]...
+               [--order q] [--points n] [--span f]
+  awesym model <netlist> --input <src> --output <node> --symbol <elem>[:role]...
+               [--order q] [--out file.json]
+  awesym eval  --model file.json --values v1,v2,...
+  awesym op        <netlist>     DC operating point (supports D/Q cards)
+  awesym linearize <netlist> [--out small.sp]
+                                 bias + emit the small-signal netlist
+  awesym ac   <netlist> --input <src> --output <node>
+              [--fstart hz] [--fstop hz] [--points n]
+  awesym tran <netlist> --input <src> --output <node>
+              --tstop s [--dt s]  step-response transient (trapezoidal)
+
+Roles: g (conductance), r (resistance), c (capacitance), l (inductance),
+gm (transconductance); default inferred from the element kind.
+"
+    .to_string()
+}
+
+struct Opts {
+    netlist: Option<String>,
+    input: Option<String>,
+    output: Option<String>,
+    symbols: Vec<String>,
+    order: usize,
+    points: usize,
+    span: f64,
+    out: Option<String>,
+    model: Option<String>,
+    values: Option<String>,
+    fstart: f64,
+    fstop: f64,
+    tstop: Option<f64>,
+    dt: Option<f64>,
+}
+
+fn parse_opts(args: &[&str]) -> Result<Opts, String> {
+    let mut o = Opts {
+        netlist: None,
+        input: None,
+        output: None,
+        symbols: Vec::new(),
+        order: 2,
+        points: 5,
+        span: 4.0,
+        out: None,
+        model: None,
+        values: None,
+        fstart: 1e3,
+        fstop: 1e9,
+        tstop: None,
+        dt: None,
+    };
+    let mut it = args.iter().copied().peekable();
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| -> Result<String, String> {
+            it.next()
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match a {
+            "--input" => o.input = Some(grab("--input")?),
+            "--output" => o.output = Some(grab("--output")?),
+            "--symbol" => o.symbols.push(grab("--symbol")?),
+            "--order" => {
+                o.order = grab("--order")?
+                    .parse()
+                    .map_err(|e| format!("bad --order: {e}"))?
+            }
+            "--points" => {
+                o.points = grab("--points")?
+                    .parse()
+                    .map_err(|e| format!("bad --points: {e}"))?
+            }
+            "--span" => {
+                o.span = grab("--span")?
+                    .parse()
+                    .map_err(|e| format!("bad --span: {e}"))?
+            }
+            "--out" => o.out = Some(grab("--out")?),
+            "--model" => o.model = Some(grab("--model")?),
+            "--values" => o.values = Some(grab("--values")?),
+            "--fstart" => {
+                o.fstart = grab("--fstart")?
+                    .parse()
+                    .map_err(|e| format!("bad --fstart: {e}"))?
+            }
+            "--fstop" => {
+                o.fstop = grab("--fstop")?
+                    .parse()
+                    .map_err(|e| format!("bad --fstop: {e}"))?
+            }
+            "--tstop" => {
+                o.tstop = Some(
+                    grab("--tstop")?
+                        .parse()
+                        .map_err(|e| format!("bad --tstop: {e}"))?,
+                )
+            }
+            "--dt" => {
+                o.dt = Some(
+                    grab("--dt")?
+                        .parse()
+                        .map_err(|e| format!("bad --dt: {e}"))?,
+                )
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            path => {
+                if o.netlist.is_some() {
+                    return Err(format!("unexpected argument '{path}'"));
+                }
+                o.netlist = Some(path.to_string());
+            }
+        }
+    }
+    Ok(o)
+}
+
+fn load_netlist(o: &Opts) -> Result<Circuit, String> {
+    let path = o.netlist.as_ref().ok_or("missing netlist path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_spice(&text).map_err(|e| e.to_string())
+}
+
+fn resolve_io(c: &Circuit, o: &Opts) -> Result<(ElementId, Node), String> {
+    let input_name = o.input.as_ref().ok_or("missing --input <source element>")?;
+    let input = c
+        .find(input_name)
+        .ok_or_else(|| format!("no element named {input_name}"))?;
+    let e = c.element(input);
+    if !matches!(e.kind, ElementKind::Vsource | ElementKind::Isource) {
+        return Err(format!("{input_name} is not an independent source"));
+    }
+    let out_name = o.output.as_ref().ok_or("missing --output <node>")?;
+    let output = c
+        .find_node(out_name)
+        .ok_or_else(|| format!("no node named {out_name}"))?;
+    Ok((input, output))
+}
+
+fn resolve_symbols(c: &Circuit, o: &Opts) -> Result<Vec<SymbolBinding>, String> {
+    if o.symbols.is_empty() {
+        return Err("at least one --symbol is required".into());
+    }
+    o.symbols
+        .iter()
+        .map(|spec| {
+            let (name, role_txt) = match spec.split_once(':') {
+                Some((n, r)) => (n, Some(r)),
+                None => (spec.as_str(), None),
+            };
+            let id = c
+                .find(name)
+                .ok_or_else(|| format!("no element named {name}"))?;
+            let kind = c.element(id).kind;
+            let role = match role_txt {
+                Some("g") => SymbolRole::Conductance,
+                Some("r") => SymbolRole::Resistance,
+                Some("c") => SymbolRole::Capacitance,
+                Some("l") => SymbolRole::Inductance,
+                Some("gm") => SymbolRole::Transconductance,
+                Some(other) => return Err(format!("unknown role '{other}'")),
+                None => match kind {
+                    ElementKind::Resistor => SymbolRole::Resistance,
+                    ElementKind::Capacitor => SymbolRole::Capacitance,
+                    ElementKind::Inductor => SymbolRole::Inductance,
+                    ElementKind::Vccs => SymbolRole::Transconductance,
+                    other => return Err(format!("element {name} ({other:?}) cannot be a symbol")),
+                },
+            };
+            Ok(SymbolBinding {
+                name: name.to_string(),
+                role,
+                elements: vec![id],
+            })
+        })
+        .collect()
+}
+
+fn cmd_lint(args: &[&str]) -> Result<String, String> {
+    let o = parse_opts(args)?;
+    let c = load_netlist(&o)?;
+    let issues = awesym_circuit::lint(&c);
+    let mut out = format!(
+        "{} elements, {} nodes, {} storage elements\n",
+        c.num_elements(),
+        c.num_nodes(),
+        c.num_storage_elements()
+    );
+    if issues.is_empty() {
+        out.push_str("clean: no issues found\n");
+    } else {
+        for i in &issues {
+            let _ = writeln!(out, "issue: {i}");
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_poles(args: &[&str]) -> Result<String, String> {
+    let o = parse_opts(args)?;
+    let c = load_netlist(&o)?;
+    let (input, output) = resolve_io(&c, &o)?;
+    let awe = AweAnalysis::new(&c, input, output).map_err(|e| e.to_string())?;
+    let rom = awe.rom_stable(o.order).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "order {} reduced model (stable: {})",
+        rom.order(),
+        rom.is_stable()
+    );
+    let _ = writeln!(out, "dc gain: {:.6e}", rom.dc_gain());
+    for (p, k) in rom.poles().iter().zip(rom.residues()) {
+        let _ = writeln!(out, "pole {p}  residue {k}");
+    }
+    if let Ok(zeros) = rom.zeros() {
+        for z in zeros {
+            let _ = writeln!(out, "zero {z}");
+        }
+    }
+    if let Some(d) = rom.delay_50() {
+        let _ = writeln!(out, "50% delay: {d:.6e} s");
+    }
+    Ok(out)
+}
+
+fn cmd_sweep(args: &[&str]) -> Result<String, String> {
+    let o = parse_opts(args)?;
+    let c = load_netlist(&o)?;
+    let (input, output) = resolve_io(&c, &o)?;
+    let bindings = resolve_symbols(&c, &o)?;
+    let model =
+        CompiledModel::build(&c, input, output, &bindings, o.order).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "compiled model: {} symbols, order {}, {} tape ops\n",
+        model.symbols().len(),
+        model.order(),
+        model.op_count()
+    );
+    let nominal = model.nominal().to_vec();
+    let _ = writeln!(
+        out,
+        "{:>14} | {:>14} {:>14} {:>14}",
+        "values", "dc gain", "p1 (rad/s)", "50% delay"
+    );
+    // Sweep the first symbol; others stay nominal.
+    for i in 0..o.points {
+        let t = if o.points > 1 {
+            i as f64 / (o.points - 1) as f64
+        } else {
+            0.5
+        };
+        let mut vals = nominal.clone();
+        vals[0] = nominal[0] / o.span * (o.span * o.span).powf(t);
+        let rom = model.rom(&vals).map_err(|e| e.to_string())?;
+        let p1 = rom.dominant_pole().map_or(f64::NAN, |p| p.re);
+        let d = rom.delay_50().unwrap_or(f64::NAN);
+        let _ = writeln!(
+            out,
+            "{:>14.6e} | {:>14.6e} {:>14.6e} {:>14.6e}",
+            vals[0],
+            rom.dc_gain(),
+            p1,
+            d
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_model(args: &[&str]) -> Result<String, String> {
+    let o = parse_opts(args)?;
+    let c = load_netlist(&o)?;
+    let (input, output) = resolve_io(&c, &o)?;
+    let bindings = resolve_symbols(&c, &o)?;
+    let model =
+        CompiledModel::build(&c, input, output, &bindings, o.order).map_err(|e| e.to_string())?;
+    let json = serde_json::to_string(&model).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "compiled {} symbols at order {} ({} tape ops)\n",
+        model.symbols().len(),
+        model.order(),
+        model.op_count()
+    );
+    match &o.out {
+        Some(path) => {
+            std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            let _ = writeln!(out, "model written to {path}");
+        }
+        None => out.push_str(&json),
+    }
+    Ok(out)
+}
+
+fn cmd_eval(args: &[&str]) -> Result<String, String> {
+    let o = parse_opts(args)?;
+    let path = o.model.as_ref().ok_or("missing --model <file.json>")?;
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let model: CompiledModel = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    let text = o.values.as_ref().ok_or("missing --values v1,v2,...")?;
+    let vals: Vec<f64> = text
+        .split(',')
+        .map(|v| {
+            v.trim()
+                .parse()
+                .map_err(|e| format!("bad value '{v}': {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if vals.len() != model.symbols().len() {
+        return Err(format!(
+            "model has {} symbols ({}), got {} values",
+            model.symbols().len(),
+            model.symbols(),
+            vals.len()
+        ));
+    }
+    let rom = model.rom(&vals).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "moments: {:?}", model.eval_moments(&vals));
+    let _ = writeln!(out, "dc gain: {:.6e}", rom.dc_gain());
+    for p in rom.poles() {
+        let _ = writeln!(out, "pole {p}");
+    }
+    if let Some(d) = rom.delay_50() {
+        let _ = writeln!(out, "50% delay: {d:.6e} s");
+    }
+    Ok(out)
+}
+
+fn load_nonlinear(o: &Opts) -> Result<crate::NonlinearCircuit, String> {
+    let path = o.netlist.as_ref().ok_or("missing netlist path")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    awesym_nonlinear::parse_spice_nonlinear(&text).map_err(|e| e.to_string())
+}
+
+fn cmd_op(args: &[&str]) -> Result<String, String> {
+    let o = parse_opts(args)?;
+    let ckt = load_nonlinear(&o)?;
+    let op = ckt.dc_operating_point().map_err(|e| e.to_string())?;
+    let mut out = format!("converged in {} newton iterations\n", op.iterations());
+    for k in 1..ckt.linear().num_nodes() {
+        let node = Node(k);
+        let _ = writeln!(
+            out,
+            "v({}) = {:.6} V",
+            ckt.linear().node_name(node),
+            op.voltage(node)
+        );
+    }
+    for d in ckt.devices() {
+        match op.device_bias(d.name()) {
+            Some(crate::DeviceBias::Diode { v, i, .. }) => {
+                let _ = writeln!(out, "{}: vd = {v:.4} V, id = {i:.4e} A", d.name());
+            }
+            Some(crate::DeviceBias::Bjt { vbe, ic, ib, .. }) => {
+                let _ = writeln!(
+                    out,
+                    "{}: vbe = {vbe:.4} V, ic = {ic:.4e} A, ib = {ib:.4e} A",
+                    d.name()
+                );
+            }
+            None => {}
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_linearize(args: &[&str]) -> Result<String, String> {
+    let o = parse_opts(args)?;
+    let ckt = load_nonlinear(&o)?;
+    let op = ckt.dc_operating_point().map_err(|e| e.to_string())?;
+    let small = ckt.linearize(&op);
+    let netlist = small.to_spice();
+    match &o.out {
+        Some(path) => {
+            std::fs::write(path, &netlist).map_err(|e| format!("cannot write {path}: {e}"))?;
+            Ok(format!(
+                "small-signal netlist ({} elements) written to {path}\n",
+                small.num_elements()
+            ))
+        }
+        None => Ok(netlist),
+    }
+}
+
+fn cmd_ac(args: &[&str]) -> Result<String, String> {
+    let o = parse_opts(args)?;
+    let c = load_netlist(&o)?;
+    let (input, output) = resolve_io(&c, &o)?;
+    let mna = crate::Mna::build(&c).map_err(|e| e.to_string())?;
+    let n = o.points.max(2);
+    let mut out = format!(
+        "{:>14} {:>14} {:>12}\n",
+        "f (Hz)", "|H| (dB)", "phase (deg)"
+    );
+    for i in 0..n {
+        let f = o.fstart * (o.fstop / o.fstart).powf(i as f64 / (n - 1) as f64);
+        let h = mna
+            .ac_transfer(input, output, &[2.0 * std::f64::consts::PI * f])
+            .map_err(|e| e.to_string())?[0];
+        let _ = writeln!(
+            out,
+            "{f:>14.6e} {:>14.3} {:>12.2}",
+            20.0 * h.abs().max(1e-300).log10(),
+            h.arg().to_degrees()
+        );
+    }
+    Ok(out)
+}
+
+fn cmd_tran(args: &[&str]) -> Result<String, String> {
+    let o = parse_opts(args)?;
+    let c = load_netlist(&o)?;
+    let (input, output) = resolve_io(&c, &o)?;
+    let tstop = o.tstop.ok_or("missing --tstop")?;
+    let dt = o.dt.unwrap_or(tstop / 200.0);
+    let mna = crate::Mna::build(&c).map_err(|e| e.to_string())?;
+    let res = crate::transient(
+        &mna,
+        input,
+        &crate::Waveform::Step { amplitude: 1.0 },
+        &crate::TransientOptions {
+            t_stop: tstop,
+            dt,
+            method: crate::IntegrationMethod::Trapezoidal,
+        },
+        &[output],
+    )
+    .map_err(|e| e.to_string())?;
+    let mut out = format!("{:>14} {:>14}\n", "t (s)", "v(out)");
+    // Print at most ~50 rows.
+    let stride = (res.times.len() / 50).max(1);
+    for (t, v) in res.times.iter().zip(res.traces[0].iter()).step_by(stride) {
+        let _ = writeln!(out, "{t:>14.6e} {v:>14.6e}");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_demo_netlist() -> (tempdir::TempDirLite, String) {
+        let dir = tempdir::TempDirLite::new("awesym_cli");
+        let path = dir.path().join("demo.sp");
+        std::fs::write(
+            &path,
+            "* fig1\nvin in 0 1\nR1 in 1 1k\nC1 1 0 1n\nR2 1 2 1k\nC2 2 0 1n\n.end\n",
+        )
+        .unwrap();
+        (dir, path.to_string_lossy().into_owned())
+    }
+
+    /// Minimal self-cleaning temp dir (avoids a dev-dependency).
+    mod tempdir {
+        pub struct TempDirLite(std::path::PathBuf);
+        impl TempDirLite {
+            pub fn new(prefix: &str) -> Self {
+                let p = std::env::temp_dir().join(format!(
+                    "{prefix}_{}_{:?}",
+                    std::process::id(),
+                    std::thread::current().id()
+                ));
+                std::fs::create_dir_all(&p).unwrap();
+                TempDirLite(p)
+            }
+            pub fn path(&self) -> &std::path::Path {
+                &self.0
+            }
+        }
+        impl Drop for TempDirLite {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_dir_all(&self.0);
+            }
+        }
+    }
+
+    #[test]
+    fn lint_command() {
+        let (_d, path) = write_demo_netlist();
+        let out = run(&["lint", &path]).unwrap();
+        assert!(out.contains("clean"), "{out}");
+    }
+
+    #[test]
+    fn poles_command() {
+        let (_d, path) = write_demo_netlist();
+        let out = run(&[
+            "poles", &path, "--input", "vin", "--output", "2", "--order", "2",
+        ])
+        .unwrap();
+        assert!(out.contains("dc gain: 1.0"), "{out}");
+        assert!(out.matches("pole").count() == 2, "{out}");
+    }
+
+    #[test]
+    fn sweep_command() {
+        let (_d, path) = write_demo_netlist();
+        let out = run(&[
+            "sweep", &path, "--input", "vin", "--output", "2", "--symbol", "C1", "--points", "3",
+        ])
+        .unwrap();
+        assert!(out.contains("compiled model: 1 symbols"), "{out}");
+        assert_eq!(out.lines().filter(|l| l.contains('|')).count(), 4, "{out}");
+    }
+
+    #[test]
+    fn model_then_eval_round_trip() {
+        let (_d, path) = write_demo_netlist();
+        let model_path = format!("{path}.model.json");
+        let out = run(&[
+            "model",
+            &path,
+            "--input",
+            "vin",
+            "--output",
+            "2",
+            "--symbol",
+            "C1",
+            "--symbol",
+            "R2:r",
+            "--out",
+            &model_path,
+        ])
+        .unwrap();
+        assert!(out.contains("model written"), "{out}");
+        let out = run(&["eval", "--model", &model_path, "--values", "2e-9,500"]).unwrap();
+        assert!(out.contains("dc gain"), "{out}");
+        let _ = std::fs::remove_file(&model_path);
+    }
+
+    #[test]
+    fn ac_and_tran_commands() {
+        let (_d, path) = write_demo_netlist();
+        let out = run(&[
+            "ac", &path, "--input", "vin", "--output", "2", "--points", "5", "--fstart", "1e4",
+            "--fstop", "1e7",
+        ])
+        .unwrap();
+        assert_eq!(out.lines().count(), 6, "{out}");
+        assert!(out.contains("phase"), "{out}");
+        let out = run(&[
+            "tran", &path, "--input", "vin", "--output", "2", "--tstop", "1e-5",
+        ])
+        .unwrap();
+        // Settles to ≈1 V by 10 τ (τ ≈ 3 µs here? R=1k, C=1n twice → ~µs).
+        let last = out.lines().last().unwrap();
+        let v: f64 = last.split_whitespace().nth(1).unwrap().parse().unwrap();
+        assert!(v > 0.9, "{out}");
+        assert!(run(&["tran", &path, "--input", "vin", "--output", "2"])
+            .unwrap_err()
+            .contains("--tstop"));
+    }
+
+    #[test]
+    fn op_and_linearize_commands() {
+        let dir = tempdir::TempDirLite::new("awesym_cli_nl");
+        let path = dir.path().join("amp.sp");
+        std::fs::write(
+            &path,
+            "VCC vcc 0 10\nVB vb 0 1\nRBS vb b 100\nRC vcc c 2k\nRE e 0 330\nQ1 c b e\n.end\n",
+        )
+        .unwrap();
+        let p = path.to_string_lossy().into_owned();
+        let out = run(&["op", &p]).unwrap();
+        assert!(out.contains("converged"), "{out}");
+        assert!(out.contains("Q1: vbe"), "{out}");
+        let small_path = dir.path().join("small.sp");
+        let sp = small_path.to_string_lossy().into_owned();
+        let out = run(&["linearize", &p, "--out", &sp]).unwrap();
+        assert!(out.contains("written"), "{out}");
+        // The emitted netlist is parseable and analyzable.
+        let out = run(&["poles", &sp, "--input", "VB", "--output", "c"]).unwrap();
+        assert!(out.contains("pole"), "{out}");
+    }
+
+    #[test]
+    fn sweep_span_and_model_print_paths() {
+        let (_d, path) = write_demo_netlist();
+        // Narrow span keeps the swept pole nearly constant.
+        let narrow = run(&[
+            "sweep", &path, "--input", "vin", "--output", "2", "--symbol", "C1", "--points", "3",
+            "--span", "1.01",
+        ])
+        .unwrap();
+        let poles: Vec<f64> = narrow
+            .lines()
+            .filter(|l| l.contains('|'))
+            .skip(1)
+            .map(|l| l.split_whitespace().nth(3).unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(poles.len(), 3);
+        let spread = (poles[2] - poles[0]).abs() / poles[1].abs();
+        assert!(spread < 0.05, "narrow sweep moved poles by {spread}");
+        // `model` without --out prints the JSON inline.
+        let out = run(&[
+            "model", &path, "--input", "vin", "--output", "2", "--symbol", "C1",
+        ])
+        .unwrap();
+        assert!(out.contains("\"tape\""), "{out}");
+        // `eval` rejects a wrong value count.
+        let dir = tempdir::TempDirLite::new("awesym_cli_eval");
+        let mp = dir.path().join("m.json");
+        let mp_s = mp.to_string_lossy().into_owned();
+        run(&[
+            "model", &path, "--input", "vin", "--output", "2", "--symbol", "C1", "--out", &mp_s,
+        ])
+        .unwrap();
+        let e = run(&["eval", "--model", &mp_s, "--values", "1e-9,2e-9"]).unwrap_err();
+        assert!(e.contains("1 symbols"), "{e}");
+    }
+
+    #[test]
+    fn errors_are_helpful() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["frobnicate"])
+            .unwrap_err()
+            .contains("unknown command"));
+        let (_d, path) = write_demo_netlist();
+        let e = run(&["poles", &path, "--input", "R1", "--output", "2"]).unwrap_err();
+        assert!(e.contains("not an independent source"), "{e}");
+        let e = run(&["poles", &path, "--input", "vin", "--output", "zz"]).unwrap_err();
+        assert!(e.contains("no node named"), "{e}");
+        let e = run(&["sweep", &path, "--input", "vin", "--output", "2"]).unwrap_err();
+        assert!(e.contains("--symbol"), "{e}");
+        let e = run(&[
+            "sweep", &path, "--input", "vin", "--output", "2", "--symbol", "C1:zz",
+        ])
+        .unwrap_err();
+        assert!(e.contains("unknown role"), "{e}");
+        assert!(run(&["help"]).unwrap().contains("USAGE"));
+    }
+}

@@ -1,0 +1,316 @@
+//! A from-scratch double-precision complex number.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// # Example
+///
+/// ```
+/// use awesym_linalg::Complex64;
+///
+/// let z = Complex64::new(3.0, 4.0);
+/// assert_eq!(z.abs(), 5.0);
+/// assert_eq!((z * z.conj()).re, 25.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    pub const fn from_re(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates.
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex64::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex64::new(self.re, -self.im)
+    }
+
+    /// Modulus `|z|`, computed with `hypot` to avoid overflow.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared modulus `|z|^2`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase angle) in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns NaN components when `z == 0`, matching IEEE division.
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex64::new(self.re / d, -self.im / d)
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        if self.re == 0.0 && self.im == 0.0 {
+            return Complex64::ZERO;
+        }
+        let r = self.abs();
+        // Stable formulation avoiding cancellation.
+        let re = ((r + self.re) * 0.5).max(0.0).sqrt();
+        let im_mag = ((r - self.re) * 0.5).max(0.0).sqrt();
+        Complex64::new(re, if self.im >= 0.0 { im_mag } else { -im_mag })
+    }
+
+    /// Complex exponential `e^z`.
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Complex64::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// True when either component is NaN.
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// True when both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, k: f64) -> Self {
+        Complex64::new(self.re * k, self.im * k)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Complex64::from_re(re)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    fn div(self, rhs: Complex64) -> Complex64 {
+        // Smith's algorithm for robust complex division.
+        if rhs.re.abs() >= rhs.im.abs() {
+            if rhs.re == 0.0 && rhs.im == 0.0 {
+                return Complex64::new(self.re / 0.0, self.im / 0.0);
+            }
+            let r = rhs.im / rhs.re;
+            let d = rhs.re + rhs.im * r;
+            Complex64::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = rhs.re / rhs.im;
+            let d = rhs.re * r + rhs.im;
+            Complex64::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl Add<f64> for Complex64 {
+    type Output = Complex64;
+    fn add(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for Complex64 {
+    type Output = Complex64;
+    fn sub(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re - rhs, self.im)
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    fn div(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl AddAssign for Complex64 {
+    fn add_assign(&mut self, rhs: Complex64) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Complex64 {
+    fn sub_assign(&mut self, rhs: Complex64) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Complex64 {
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    fn div_assign(&mut self, rhs: Complex64) {
+        *self = *self / rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).abs() < 1e-12 * (1.0 + a.abs().max(b.abs()))
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex64::new(2.5, -1.25);
+        assert!(close(z + Complex64::ZERO, z));
+        assert!(close(z * Complex64::ONE, z));
+        assert!(close(z - z, Complex64::ZERO));
+        assert!(close(z / z, Complex64::ONE));
+        assert!(close(z * z.recip(), Complex64::ONE));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(Complex64::I * Complex64::I, -Complex64::ONE));
+    }
+
+    #[test]
+    fn division_matches_definition() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(-3.0, 0.5);
+        let q = a / b;
+        assert!(close(q * b, a));
+        // Both Smith branches.
+        let c = Complex64::new(0.5, -3.0);
+        let q2 = a / c;
+        assert!(close(q2 * c, a));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &(re, im) in &[
+            (4.0, 0.0),
+            (-4.0, 0.0),
+            (3.0, 4.0),
+            (-3.0, -4.0),
+            (0.0, 2.0),
+        ] {
+            let z = Complex64::new(re, im);
+            let r = z.sqrt();
+            assert!(close(r * r, z), "sqrt({z}) = {r}");
+            assert!(r.re >= 0.0, "principal branch");
+        }
+        assert_eq!(Complex64::ZERO.sqrt(), Complex64::ZERO);
+    }
+
+    #[test]
+    fn exp_of_pi_i() {
+        let z = Complex64::new(0.0, std::f64::consts::PI).exp();
+        assert!((z.re + 1.0).abs() < 1e-12 && z.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex64::from_polar(2.0, 0.7);
+        assert!((z.abs() - 2.0).abs() < 1e-12);
+        assert!((z.arg() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn real_ops() {
+        let z = Complex64::new(1.0, 1.0);
+        assert_eq!(z * 2.0, Complex64::new(2.0, 2.0));
+        assert_eq!(2.0 * z, Complex64::new(2.0, 2.0));
+        assert_eq!(z / 2.0, Complex64::new(0.5, 0.5));
+        assert_eq!(z + 1.0, Complex64::new(2.0, 1.0));
+        assert_eq!(z - 1.0, Complex64::new(0.0, 1.0));
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type shared by the dense solvers.
+
+use std::fmt;
+
+/// Errors produced by dense factorizations and polynomial solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// The matrix is singular (no acceptable pivot at the given elimination step).
+    Singular {
+        /// Elimination step at which no pivot was found.
+        step: usize,
+    },
+    /// Operand shapes are incompatible.
+    ShapeMismatch {
+        /// Description of the expected shape.
+        expected: String,
+        /// Description of the shape that was provided.
+        got: String,
+    },
+    /// An iterative method failed to converge.
+    NoConvergence {
+        /// Name of the algorithm that failed.
+        algorithm: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The input polynomial is identically zero or otherwise degenerate.
+    DegeneratePolynomial,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::Singular { step } => {
+                write!(f, "matrix is singular at elimination step {step}")
+            }
+            LinalgError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected}, got {got}")
+            }
+            LinalgError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(
+                f,
+                "{algorithm} did not converge after {iterations} iterations"
+            ),
+            LinalgError::DegeneratePolynomial => {
+                write!(f, "polynomial is degenerate (zero or empty)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            LinalgError::Singular { step: 3 }.to_string(),
+            "matrix is singular at elimination step 3"
+        );
+        let e = LinalgError::ShapeMismatch {
+            expected: "3x3".into(),
+            got: "2x3".into(),
+        };
+        assert!(e.to_string().contains("expected 3x3"));
+        let e = LinalgError::NoConvergence {
+            algorithm: "aberth",
+            iterations: 100,
+        };
+        assert!(e.to_string().contains("aberth"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,134 @@
+//! Dense linear-algebra substrate for the AWEsymbolic workspace.
+//!
+//! This crate deliberately implements everything from scratch — complex
+//! arithmetic, dense matrices with LU factorization, real/complex
+//! polynomials, and a polynomial root finder — because the reproduction
+//! builds its full numerical stack rather than depending on external
+//! numerics crates.
+//!
+//! # Example
+//!
+//! Solve a small linear system and find the roots of its characteristic
+//! polynomial:
+//!
+//! ```
+//! use awesym_linalg::{Mat, Poly};
+//!
+//! # fn main() -> Result<(), awesym_linalg::LinalgError> {
+//! let a = Mat::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+//! let x = a.clone().solve(&[1.0, 2.0])?;
+//! assert!((2.0 * x[0] + x[1] - 1.0).abs() < 1e-12);
+//!
+//! // p(s) = (s + 1)(s + 2) = s^2 + 3 s + 2
+//! let p = Poly::new(vec![2.0, 3.0, 1.0]);
+//! let roots = p.roots()?;
+//! assert_eq!(roots.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod complex;
+mod error;
+mod lu;
+mod mat;
+mod poly;
+mod roots;
+mod structured;
+
+pub use complex::Complex64;
+pub use error::LinalgError;
+pub use lu::LuFactors;
+pub use mat::{CMat, Mat};
+pub use poly::{CPoly, Poly};
+pub use roots::{quadratic_roots, roots_aberth};
+pub use structured::{solve_hankel, solve_vandermonde_complex};
+
+/// Scalar abstraction shared by the dense and sparse solvers.
+///
+/// Implemented for [`f64`] and [`Complex64`]; the circuit engines are generic
+/// over it so that DC/moment analysis (real) and AC analysis (complex) share
+/// one factorization code path.
+pub trait Scalar:
+    Copy
+    + Clone
+    + std::fmt::Debug
+    + PartialEq
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+    + std::ops::Neg<Output = Self>
+    + std::ops::AddAssign
+    + std::ops::SubAssign
+    + std::ops::MulAssign
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Magnitude used for pivot selection.
+    fn modulus(&self) -> f64;
+    /// Lift a real number into the scalar type.
+    fn from_f64(x: f64) -> Self;
+    /// True when the value is exactly zero.
+    fn is_zero(&self) -> bool {
+        *self == Self::zero()
+    }
+}
+
+impl Scalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn modulus(&self) -> f64 {
+        self.abs()
+    }
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+}
+
+impl Scalar for Complex64 {
+    fn zero() -> Self {
+        Complex64::ZERO
+    }
+    fn one() -> Self {
+        Complex64::ONE
+    }
+    fn modulus(&self) -> f64 {
+        self.abs()
+    }
+    fn from_f64(x: f64) -> Self {
+        Complex64::new(x, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_f64_basics() {
+        assert_eq!(f64::zero(), 0.0);
+        assert_eq!(f64::one(), 1.0);
+        assert_eq!((-3.0f64).modulus(), 3.0);
+        assert!(f64::zero().is_zero());
+        assert!(!f64::one().is_zero());
+    }
+
+    #[test]
+    fn scalar_complex_basics() {
+        let z = Complex64::new(3.0, 4.0);
+        assert_eq!(z.modulus(), 5.0);
+        assert!(Complex64::zero().is_zero());
+        assert_eq!(Complex64::from_f64(2.5), Complex64::new(2.5, 0.0));
+    }
+}

@@ -1,0 +1,240 @@
+//! Dense LU factorization with partial pivoting.
+
+use crate::mat::DenseMat;
+use crate::{LinalgError, Scalar};
+
+/// LU factorization `P A = L U` of a square dense matrix.
+///
+/// Reusable: factor once, call [`LuFactors::solve`] for many right-hand
+/// sides. This is the pattern AWE uses — `G` is factored once and every
+/// moment is a back-substitution.
+///
+/// # Example
+///
+/// ```
+/// use awesym_linalg::{LuFactors, Mat};
+///
+/// # fn main() -> Result<(), awesym_linalg::LinalgError> {
+/// let a = Mat::from_rows(&[&[0.0, 2.0], &[1.0, 1.0]]);
+/// let lu = LuFactors::factor(a)?;
+/// let x = lu.solve(&[2.0, 2.0]);
+/// assert!((x[0] - 1.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LuFactors<T> {
+    /// Combined L (unit lower, below diagonal) and U (upper, incl. diagonal).
+    lu: DenseMat<T>,
+    /// Row permutation: `perm[k]` is the original row used at step `k`.
+    perm: Vec<usize>,
+    /// Parity of the permutation, `+1` or `-1`.
+    sign: f64,
+}
+
+impl<T: Scalar> LuFactors<T> {
+    /// Factors the matrix with partial (row) pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] when the pivot column is numerically
+    /// zero, and [`LinalgError::ShapeMismatch`] for non-square input.
+    pub fn factor(a: DenseMat<T>) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::ShapeMismatch {
+                expected: "square matrix".into(),
+                got: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        let mut lu = a;
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let scale = lu.max_abs().max(1.0);
+        for k in 0..n {
+            // Pivot search over column k, rows k..n.
+            let mut best = k;
+            let mut best_mag = lu[(k, k)].modulus();
+            for i in (k + 1)..n {
+                let m = lu[(i, k)].modulus();
+                if m > best_mag {
+                    best = i;
+                    best_mag = m;
+                }
+            }
+            if best_mag <= f64::EPSILON * scale * 16.0 {
+                return Err(LinalgError::Singular { step: k });
+            }
+            if best != k {
+                swap_rows(&mut lu, k, best);
+                perm.swap(k, best);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                if factor.is_zero() {
+                    continue;
+                }
+                for j in (k + 1)..n {
+                    let ukj = lu[(k, j)];
+                    lu[(i, j)] -= factor * ukj;
+                }
+            }
+        }
+        Ok(LuFactors { lu, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b` using the stored factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[T]) -> Vec<T> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Apply permutation, then forward substitution (L y = P b).
+        let mut x: Vec<T> = (0..n).map(|k| b[self.perm[k]]).collect();
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc;
+        }
+        // Back substitution (U x = y).
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `Aᵀ x = b` using the stored factors (adjoint solve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve_transposed(&self, b: &[T]) -> Vec<T> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "rhs length mismatch");
+        // Aᵀ = Uᵀ Lᵀ Pᵀ⁻¹… with P A = L U we have Aᵀ Pᵀ = Uᵀ Lᵀ, so solve
+        // Uᵀ y = b, Lᵀ z = y, then x = Pᵀ z (undo the permutation).
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let mut acc = y[i];
+            for j in 0..i {
+                acc -= self.lu[(j, i)] * y[j];
+            }
+            y[i] = acc / self.lu[(i, i)];
+        }
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[(j, i)] * y[j];
+            }
+            y[i] = acc;
+        }
+        let mut x = vec![T::zero(); n];
+        for k in 0..n {
+            x[self.perm[k]] = y[k];
+        }
+        x
+    }
+
+    /// Determinant of the factored matrix.
+    pub fn det(&self) -> T {
+        let mut d = T::from_f64(self.sign);
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+fn swap_rows<T: Scalar>(m: &mut DenseMat<T>, a: usize, b: usize) {
+    let cols = m.cols();
+    let (a, b) = (a.min(b), a.max(b));
+    let data = m.data_mut();
+    let (head, tail) = data.split_at_mut(b * cols);
+    head[a * cols..(a + 1) * cols].swap_with_slice(&mut tail[..cols]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Mat;
+
+    fn rand_mat(n: usize, seed: u64) -> Mat {
+        // Tiny deterministic LCG so the test has no dependencies.
+        let mut s = seed
+            .wrapping_mul(2862933555777941757)
+            .wrapping_add(3037000493);
+        Mat::from_fn(n, n, |_, _| {
+            s = s.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
+        })
+    }
+
+    #[test]
+    fn solve_matches_multiplication() {
+        for n in [1, 2, 3, 5, 8, 17] {
+            let a = rand_mat(n, n as u64 + 1);
+            let x_true: Vec<f64> = (0..n).map(|i| (i as f64) - 2.0).collect();
+            let b = a.mul_vec(&x_true);
+            let lu = LuFactors::factor(a).unwrap();
+            let x = lu.solve(&b);
+            for (xi, ti) in x.iter().zip(x_true.iter()) {
+                assert!((xi - ti).abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_solve_matches() {
+        let a = rand_mat(6, 42);
+        let at = a.transpose();
+        let b: Vec<f64> = (0..6).map(|i| i as f64 + 0.5).collect();
+        let lu = LuFactors::factor(a).unwrap();
+        let x1 = lu.solve_transposed(&b);
+        let x2 = at.solve(&b).unwrap();
+        for (p, q) in x1.iter().zip(x2.iter()) {
+            assert!((p - q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn det_with_pivoting() {
+        let a = Mat::from_rows(&[&[0.0, 1.0, 2.0], &[1.0, 0.0, 3.0], &[4.0, -3.0, 8.0]]);
+        // det = 0*(0*8-3*-3) - 1*(1*8-3*4) + 2*(1*-3-0*4) = 0 +4 -6 = -2
+        let lu = LuFactors::factor(a).unwrap();
+        assert!((lu.det() + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Mat::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        assert!(matches!(
+            LuFactors::factor(a),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Mat::zeros(2, 3);
+        assert!(matches!(
+            LuFactors::factor(a),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,279 @@
+//! Dense matrices over a [`Scalar`], in row-major storage.
+
+use crate::{Complex64, LinalgError, Scalar};
+
+/// A dense matrix over scalar `T`, stored row-major.
+///
+/// # Example
+///
+/// ```
+/// use awesym_linalg::Mat;
+///
+/// let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// assert_eq!(a[(1, 0)], 3.0);
+/// assert_eq!(a.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMat<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+/// Dense real matrix.
+pub type Mat = DenseMat<f64>;
+/// Dense complex matrix.
+pub type CMat = DenseMat<Complex64>;
+
+impl<T: Scalar> DenseMat<T> {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMat {
+            rows,
+            cols,
+            data: vec![T::zero(); rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = T::one();
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths.
+    pub fn from_rows(rows: &[&[T]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "all rows must have the same length");
+            data.extend_from_slice(row);
+        }
+        DenseMat {
+            rows: r,
+            cols: c,
+            data,
+        }
+    }
+
+    /// Builds a matrix from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True when the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow of row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix-vector product `A x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
+        let mut y = vec![T::zero(); self.rows];
+        for i in 0..self.rows {
+            let row = self.row(i);
+            let mut acc = T::zero();
+            for (a, b) in row.iter().zip(x.iter()) {
+                acc += *a * *b;
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Matrix-matrix product `A B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inner dimensions disagree.
+    pub fn mul_mat(&self, b: &DenseMat<T>) -> DenseMat<T> {
+        assert_eq!(self.cols, b.rows, "dimension mismatch in mul_mat");
+        let mut out = DenseMat::zeros(self.rows, b.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik.is_zero() {
+                    continue;
+                }
+                for j in 0..b.cols {
+                    out[(i, j)] += aik * b[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> DenseMat<T> {
+        DenseMat::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Solves `A x = b` in place, consuming the matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] when no acceptable pivot exists and
+    /// [`LinalgError::ShapeMismatch`] when `b.len() != self.rows()`.
+    pub fn solve(self, b: &[T]) -> Result<Vec<T>, LinalgError> {
+        if b.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                expected: format!("rhs of length {}", self.rows),
+                got: format!("length {}", b.len()),
+            });
+        }
+        let lu = crate::lu::LuFactors::factor(self)?;
+        Ok(lu.solve(b))
+    }
+
+    /// Determinant via LU factorization.
+    ///
+    /// Returns zero when the matrix is singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the matrix is not square.
+    pub fn det(&self) -> T {
+        assert!(self.is_square(), "determinant of a non-square matrix");
+        match crate::lu::LuFactors::factor(self.clone()) {
+            Ok(lu) => lu.det(),
+            Err(_) => T::zero(),
+        }
+    }
+
+    /// Maximum absolute entry (infinity norm of the flattened matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|v| v.modulus()).fold(0.0, f64::max)
+    }
+
+    pub(crate) fn data_mut(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+impl<T: Scalar> std::ops::Index<(usize, usize)> for DenseMat<T> {
+    type Output = T;
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl<T: Scalar> std::ops::IndexMut<(usize, usize)> for DenseMat<T> {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solve_is_rhs() {
+        let a: Mat = Mat::identity(4);
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(a.solve(&b).unwrap(), b.to_vec());
+    }
+
+    #[test]
+    fn solve_known_system() {
+        let a = Mat::from_rows(&[&[4.0, -2.0, 1.0], &[-2.0, 4.0, -2.0], &[1.0, -2.0, 4.0]]);
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.mul_vec(&x_true);
+        let x = a.solve(&b).unwrap();
+        for (xi, ti) in x.iter().zip(x_true.iter()) {
+            assert!((xi - ti).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn singular_matrix_errors() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            a.solve(&[1.0, 1.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_errors() {
+        let a = Mat::identity(2);
+        assert!(matches!(
+            a.solve(&[1.0]),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn det_of_known_matrices() {
+        assert_eq!(Mat::identity(3).det(), 1.0);
+        let a = Mat::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]);
+        assert!((a.det() - 6.0).abs() < 1e-12);
+        let s = Mat::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(s.det(), 0.0);
+        // A permutation-needing matrix with known determinant.
+        let p = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        assert!((p.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mul_mat_and_transpose() {
+        let a = Mat::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Mat::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let ab = a.mul_mat(&b);
+        assert_eq!(ab, Mat::from_rows(&[&[2.0, 1.0], &[4.0, 3.0]]));
+        assert_eq!(a.transpose()[(0, 1)], 3.0);
+    }
+
+    #[test]
+    fn complex_solve() {
+        use crate::Complex64 as C;
+        let a = CMat::from_rows(&[
+            &[C::new(1.0, 1.0), C::new(0.0, 0.0)],
+            &[C::new(0.0, 0.0), C::new(0.0, 2.0)],
+        ]);
+        let b = [C::new(2.0, 0.0), C::new(0.0, 4.0)];
+        let x = a.solve(&b).unwrap();
+        assert!((x[0] - C::new(1.0, -1.0)).abs() < 1e-12);
+        assert!((x[1] - C::new(2.0, 0.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_fn_and_max_abs() {
+        let m = Mat::from_fn(2, 3, |i, j| (i * 3 + j) as f64 - 3.0);
+        assert_eq!(m[(1, 2)], 2.0);
+        assert_eq!(m.max_abs(), 3.0);
+    }
+}

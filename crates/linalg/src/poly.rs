@@ -1,0 +1,331 @@
+//! Univariate polynomials with real or complex coefficients.
+
+use crate::{Complex64, LinalgError};
+
+/// A univariate polynomial with real coefficients, lowest degree first:
+/// `p(s) = c[0] + c[1] s + … + c[n] sⁿ`.
+///
+/// # Example
+///
+/// ```
+/// use awesym_linalg::Poly;
+///
+/// let p = Poly::new(vec![2.0, 3.0, 1.0]); // 2 + 3 s + s^2 = (s+1)(s+2)
+/// assert_eq!(p.eval(-1.0), 0.0);
+/// assert_eq!(p.degree(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Poly {
+    coeffs: Vec<f64>,
+}
+
+impl Poly {
+    /// Creates a polynomial from coefficients, lowest degree first.
+    /// Trailing (highest-degree) zeros are trimmed.
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        let mut p = Poly { coeffs };
+        p.trim();
+        p
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Poly { coeffs: Vec::new() }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Self {
+        Poly::new(vec![c])
+    }
+
+    /// Builds the monic polynomial with the given (complex-conjugate-closed)
+    /// roots; the result is real up to rounding, and tiny imaginary residue
+    /// is discarded.
+    pub fn from_roots(roots: &[Complex64]) -> Self {
+        let mut c = vec![Complex64::ONE];
+        for &r in roots {
+            let mut next = vec![Complex64::ZERO; c.len() + 1];
+            for (k, &ck) in c.iter().enumerate() {
+                next[k + 1] += ck;
+                next[k] -= r * ck;
+            }
+            c = next;
+        }
+        Poly::new(c.into_iter().map(|z| z.re).collect())
+    }
+
+    /// Degree (0 for constants; 0 for the zero polynomial as a convention).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    /// True when all coefficients are (trimmed to) zero.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Coefficient slice, lowest degree first.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Coefficient of `s^k` (zero beyond the stored degree).
+    pub fn coeff(&self, k: usize) -> f64 {
+        self.coeffs.get(k).copied().unwrap_or(0.0)
+    }
+
+    /// Evaluates at a real point by Horner's rule.
+    pub fn eval(&self, s: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * s + c)
+    }
+
+    /// Evaluates at a complex point by Horner's rule.
+    pub fn eval_complex(&self, s: Complex64) -> Complex64 {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(Complex64::ZERO, |acc, &c| acc * s + c)
+    }
+
+    /// Formal derivative.
+    pub fn derivative(&self) -> Poly {
+        if self.coeffs.len() <= 1 {
+            return Poly::zero();
+        }
+        Poly::new(
+            self.coeffs
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(k, &c)| c * k as f64)
+                .collect(),
+        )
+    }
+
+    /// Polynomial sum.
+    pub fn add(&self, rhs: &Poly) -> Poly {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        Poly::new((0..n).map(|k| self.coeff(k) + rhs.coeff(k)).collect())
+    }
+
+    /// Polynomial product.
+    pub fn mul(&self, rhs: &Poly) -> Poly {
+        if self.is_zero() || rhs.is_zero() {
+            return Poly::zero();
+        }
+        let mut out = vec![0.0; self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in rhs.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Poly::new(out)
+    }
+
+    /// Scales every coefficient by `k`.
+    pub fn scale(&self, k: f64) -> Poly {
+        Poly::new(self.coeffs.iter().map(|c| c * k).collect())
+    }
+
+    /// Substitutes `s ← σ·s`, i.e. returns `q(s) = p(σ s)`.
+    ///
+    /// Used by AWE's moment scaling: coefficient `k` is multiplied by `σᵏ`.
+    pub fn scale_variable(&self, sigma: f64) -> Poly {
+        let mut f = 1.0;
+        Poly::new(
+            self.coeffs
+                .iter()
+                .map(|&c| {
+                    let v = c * f;
+                    f *= sigma;
+                    v
+                })
+                .collect(),
+        )
+    }
+
+    /// All complex roots.
+    ///
+    /// Degrees 1 and 2 use closed forms; higher degrees use the
+    /// Aberth–Ehrlich iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DegeneratePolynomial`] for the zero/constant
+    /// polynomial and [`LinalgError::NoConvergence`] if iteration stalls.
+    pub fn roots(&self) -> Result<Vec<Complex64>, LinalgError> {
+        crate::roots::roots_real(&self.coeffs)
+    }
+
+    fn trim(&mut self) {
+        while let Some(&last) = self.coeffs.last() {
+            if last == 0.0 {
+                self.coeffs.pop();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Poly {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (k, &c) in self.coeffs.iter().enumerate() {
+            if c == 0.0 {
+                continue;
+            }
+            if !first {
+                write!(f, " {} ", if c < 0.0 { "-" } else { "+" })?;
+            } else if c < 0.0 {
+                write!(f, "-")?;
+            }
+            let a = c.abs();
+            match k {
+                0 => write!(f, "{a}")?,
+                1 => write!(f, "{a}*s")?,
+                _ => write!(f, "{a}*s^{k}")?,
+            }
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// A univariate polynomial with complex coefficients, lowest degree first.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CPoly {
+    coeffs: Vec<Complex64>,
+}
+
+impl CPoly {
+    /// Creates a complex polynomial; trailing zeros are trimmed.
+    pub fn new(coeffs: Vec<Complex64>) -> Self {
+        let mut p = CPoly { coeffs };
+        while matches!(p.coeffs.last(), Some(c) if c.abs() == 0.0) {
+            p.coeffs.pop();
+        }
+        p
+    }
+
+    /// Coefficient slice, lowest degree first.
+    pub fn coeffs(&self) -> &[Complex64] {
+        &self.coeffs
+    }
+
+    /// Degree (0 for constants and the zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    /// Evaluates at a complex point by Horner's rule.
+    pub fn eval(&self, s: Complex64) -> Complex64 {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(Complex64::ZERO, |acc, &c| acc * s + c)
+    }
+
+    /// Formal derivative.
+    pub fn derivative(&self) -> CPoly {
+        if self.coeffs.len() <= 1 {
+            return CPoly::new(Vec::new());
+        }
+        CPoly::new(
+            self.coeffs
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(k, &c)| c * k as f64)
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_and_degree() {
+        let p = Poly::new(vec![1.0, -2.0, 0.0, 4.0]);
+        assert_eq!(p.degree(), 3);
+        assert_eq!(p.eval(2.0), 1.0 - 4.0 + 32.0);
+        assert_eq!(p.coeff(7), 0.0);
+    }
+
+    #[test]
+    fn trailing_zeros_trimmed() {
+        let p = Poly::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.coeffs(), &[1.0, 2.0]);
+        assert!(Poly::new(vec![0.0, 0.0]).is_zero());
+    }
+
+    #[test]
+    fn derivative_rules() {
+        let p = Poly::new(vec![5.0, 3.0, 2.0]); // 5 + 3s + 2s^2
+        assert_eq!(p.derivative().coeffs(), &[3.0, 4.0]);
+        assert!(Poly::constant(5.0).derivative().is_zero());
+    }
+
+    #[test]
+    fn mul_add() {
+        let a = Poly::new(vec![1.0, 1.0]); // 1 + s
+        let b = Poly::new(vec![2.0, 1.0]); // 2 + s
+        assert_eq!(a.mul(&b).coeffs(), &[2.0, 3.0, 1.0]);
+        assert_eq!(a.add(&b).coeffs(), &[3.0, 2.0]);
+        assert!(a.mul(&Poly::zero()).is_zero());
+    }
+
+    #[test]
+    fn from_roots_reconstructs() {
+        let roots = [
+            Complex64::new(-1.0, 0.0),
+            Complex64::new(-2.0, 1.0),
+            Complex64::new(-2.0, -1.0),
+        ];
+        let p = Poly::from_roots(&roots);
+        // (s+1)(s^2+4s+5) = s^3 + 5s^2 + 9s + 5
+        let c = p.coeffs();
+        assert!((c[0] - 5.0).abs() < 1e-12);
+        assert!((c[1] - 9.0).abs() < 1e-12);
+        assert!((c[2] - 5.0).abs() < 1e-12);
+        assert!((c[3] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_variable_matches_eval() {
+        let p = Poly::new(vec![1.0, 2.0, 3.0]);
+        let q = p.scale_variable(0.5);
+        for s in [-1.0, 0.3, 2.0] {
+            assert!((q.eval(s) - p.eval(0.5 * s)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn eval_complex_consistent() {
+        let p = Poly::new(vec![1.0, 0.0, 1.0]); // 1 + s^2
+        let v = p.eval_complex(Complex64::I);
+        assert!(v.abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_readable() {
+        let p = Poly::new(vec![1.0, -2.0, 3.0]);
+        assert_eq!(p.to_string(), "1 - 2*s + 3*s^2");
+        assert_eq!(Poly::zero().to_string(), "0");
+    }
+
+    #[test]
+    fn cpoly_eval_derivative() {
+        let p = CPoly::new(vec![Complex64::ONE, Complex64::I]); // 1 + i s
+        assert_eq!(p.degree(), 1);
+        let v = p.eval(Complex64::I); // 1 + i*i = 0
+        assert!(v.abs() < 1e-15);
+        assert_eq!(p.derivative().coeffs(), &[Complex64::I]);
+    }
+}

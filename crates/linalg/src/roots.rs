@@ -1,0 +1,313 @@
+//! Polynomial root finding: closed forms for low degrees and the
+//! Aberth–Ehrlich simultaneous iteration for higher degrees.
+//!
+//! AWE denominators are low order (typically ≤ 8), so robustness at small
+//! degree matters far more than asymptotic speed.
+
+use crate::{Complex64, LinalgError};
+
+/// Roots of the quadratic `c0 + c1 s + c2 s²` (with `c2 ≠ 0`), using the
+/// numerically stable "citardauq" pairing to avoid cancellation.
+///
+/// # Example
+///
+/// ```
+/// use awesym_linalg::quadratic_roots;
+///
+/// let (r1, r2) = quadratic_roots(2.0, 3.0, 1.0); // (s+1)(s+2)
+/// assert!((r1.re + 2.0).abs() < 1e-12 || (r1.re + 1.0).abs() < 1e-12);
+/// assert!((r1.re * r2.re - 2.0).abs() < 1e-12);
+/// ```
+pub fn quadratic_roots(c0: f64, c1: f64, c2: f64) -> (Complex64, Complex64) {
+    debug_assert!(c2 != 0.0, "quadratic_roots requires c2 != 0");
+    let disc = c1 * c1 - 4.0 * c2 * c0;
+    if disc >= 0.0 {
+        let sq = disc.sqrt();
+        let q = -0.5 * (c1 + c1.signum() * sq);
+        // Guard the degenerate c1 == 0 case.
+        let q = if q == 0.0 { -0.5 * sq } else { q };
+        if q == 0.0 {
+            return (Complex64::ZERO, Complex64::ZERO);
+        }
+        (Complex64::from_re(q / c2), Complex64::from_re(c0 / q))
+    } else {
+        let sq = (-disc).sqrt();
+        let re = -c1 / (2.0 * c2);
+        let im = sq / (2.0 * c2);
+        (Complex64::new(re, im), Complex64::new(re, -im))
+    }
+}
+
+/// All complex roots of a real-coefficient polynomial given lowest-degree
+/// first. Exact zero leading coefficients must already be trimmed.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DegeneratePolynomial`] for constant/zero input and
+/// [`LinalgError::NoConvergence`] if the Aberth iteration stalls.
+pub(crate) fn roots_real(coeffs: &[f64]) -> Result<Vec<Complex64>, LinalgError> {
+    let c: Vec<Complex64> = coeffs.iter().map(|&x| Complex64::from_re(x)).collect();
+    roots_aberth(&c)
+}
+
+/// All complex roots of a complex-coefficient polynomial (lowest degree
+/// first) by Aberth–Ehrlich iteration, with closed forms for degree ≤ 2.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DegeneratePolynomial`] for constant/zero input and
+/// [`LinalgError::NoConvergence`] if iteration fails to converge.
+pub fn roots_aberth(coeffs: &[Complex64]) -> Result<Vec<Complex64>, LinalgError> {
+    // Trim trailing zeros defensively.
+    let mut c = coeffs.to_vec();
+    while matches!(c.last(), Some(z) if z.abs() == 0.0) {
+        c.pop();
+    }
+    if c.len() <= 1 {
+        return Err(LinalgError::DegeneratePolynomial);
+    }
+    // Factor out roots at the origin (c0 = c1 = … = 0).
+    let mut zero_roots = 0;
+    while c.first().map(|z| z.abs()) == Some(0.0) {
+        c.remove(0);
+        zero_roots += 1;
+    }
+    let mut roots = vec![Complex64::ZERO; zero_roots];
+    let n = c.len() - 1;
+    match n {
+        0 => {}
+        1 => roots.push(-c[0] / c[1]),
+        2 => {
+            let (r1, r2) = quadratic_complex(c[0], c[1], c[2]);
+            roots.push(r1);
+            roots.push(r2);
+        }
+        _ => roots.extend(aberth_iterate(&c)?),
+    }
+    Ok(roots)
+}
+
+fn quadratic_complex(c0: Complex64, c1: Complex64, c2: Complex64) -> (Complex64, Complex64) {
+    let disc = (c1 * c1 - 4.0 * (c2 * c0)).sqrt();
+    // Choose the sign that maximizes |c1 ± disc| for stability.
+    let s1 = c1 + disc;
+    let s2 = c1 - disc;
+    let q = if s1.abs() >= s2.abs() { s1 } else { s2 };
+    if q.abs() == 0.0 {
+        return (Complex64::ZERO, Complex64::ZERO);
+    }
+    let q = q * -0.5;
+    (q / c2, c0 / q)
+}
+
+fn aberth_iterate(c: &[Complex64]) -> Result<Vec<Complex64>, LinalgError> {
+    let n = c.len() - 1;
+    let lead = c[n];
+    // Cauchy bound for the root radius.
+    let radius = 1.0
+        + c[..n]
+            .iter()
+            .map(|z| (*z / lead).abs())
+            .fold(0.0_f64, f64::max);
+    // Initial guesses on a slightly asymmetric circle (avoids symmetric stalls).
+    let mut z: Vec<Complex64> = (0..n)
+        .map(|k| {
+            let theta = 2.0 * std::f64::consts::PI * (k as f64 + 0.35) / n as f64 + 0.5;
+            Complex64::from_polar(radius * 0.7, theta)
+        })
+        .collect();
+    let dc: Vec<Complex64> = c
+        .iter()
+        .enumerate()
+        .skip(1)
+        .map(|(k, &ck)| ck * k as f64)
+        .collect();
+    let eval = |cs: &[Complex64], s: Complex64| {
+        cs.iter()
+            .rev()
+            .fold(Complex64::ZERO, |acc, &ck| acc * s + ck)
+    };
+    let scale: f64 = c.iter().map(|z| z.abs()).fold(0.0, f64::max);
+    let tol = 1e-14 * scale.max(1.0);
+    const MAX_ITER: usize = 400;
+    for _ in 0..MAX_ITER {
+        let mut moved = 0.0_f64;
+        for i in 0..n {
+            let p = eval(c, z[i]);
+            if p.abs() < tol {
+                continue;
+            }
+            let dp = eval(&dc, z[i]);
+            let newton = if dp.abs() > 0.0 {
+                p / dp
+            } else {
+                Complex64::from_re(1e-6)
+            };
+            let mut sum = Complex64::ZERO;
+            for j in 0..n {
+                if j != i {
+                    let diff = z[i] - z[j];
+                    if diff.abs() > 1e-300 {
+                        sum += diff.recip();
+                    }
+                }
+            }
+            let denom = Complex64::ONE - newton * sum;
+            let step = if denom.abs() > 1e-300 {
+                newton / denom
+            } else {
+                newton
+            };
+            z[i] -= step;
+            moved = moved.max(step.abs());
+        }
+        if moved < 1e-13 * radius.max(1.0) {
+            // Polish with a couple of Newton steps and return.
+            for zi in z.iter_mut() {
+                for _ in 0..3 {
+                    let p = eval(c, *zi);
+                    let dp = eval(&dc, *zi);
+                    if dp.abs() > 0.0 {
+                        *zi -= p / dp;
+                    }
+                }
+            }
+            pair_conjugates(&mut z, c);
+            return Ok(z);
+        }
+    }
+    Err(LinalgError::NoConvergence {
+        algorithm: "aberth",
+        iterations: MAX_ITER,
+    })
+}
+
+/// For real-coefficient polynomials, snap nearly-real roots to the real axis
+/// and symmetrize conjugate pairs. No-op when coefficients are not all real.
+fn pair_conjugates(z: &mut [Complex64], c: &[Complex64]) {
+    if !c.iter().all(|ck| ck.im == 0.0) {
+        return;
+    }
+    let scale = z.iter().map(|r| r.abs()).fold(1e-30, f64::max);
+    for r in z.iter_mut() {
+        if r.im.abs() < 1e-9 * scale {
+            r.im = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Poly;
+
+    fn sorted_re(mut v: Vec<Complex64>) -> Vec<Complex64> {
+        v.sort_by(|a, b| {
+            a.re.partial_cmp(&b.re)
+                .unwrap()
+                .then(a.im.partial_cmp(&b.im).unwrap())
+        });
+        v
+    }
+
+    #[test]
+    fn quadratic_real_roots() {
+        let (r1, r2) = quadratic_roots(6.0, 5.0, 1.0); // (s+2)(s+3)
+        let mut v = [r1.re, r2.re];
+        v.sort_by(f64::total_cmp);
+        assert!((v[0] + 3.0).abs() < 1e-12 && (v[1] + 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_complex_pair() {
+        let (r1, r2) = quadratic_roots(5.0, 2.0, 1.0); // s = -1 ± 2i
+        assert!((r1.re + 1.0).abs() < 1e-12);
+        assert!((r1.im.abs() - 2.0).abs() < 1e-12);
+        assert!((r1 - r2.conj()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_cancellation_stable() {
+        // Roots 1e-9 and 1e9: naive formula loses the small root.
+        let (r1, r2) = quadratic_roots(1.0, -(1e9 + 1e-9), 1.0);
+        let small = if r1.abs() < r2.abs() { r1 } else { r2 };
+        assert!((small.re - 1e-9).abs() / 1e-9 < 1e-6);
+    }
+
+    #[test]
+    fn cubic_known_roots() {
+        // (s+1)(s+10)(s+100)
+        let p = Poly::from_roots(&[
+            Complex64::from_re(-1.0),
+            Complex64::from_re(-10.0),
+            Complex64::from_re(-100.0),
+        ]);
+        let roots = sorted_re(p.roots().unwrap());
+        assert!((roots[0].re + 100.0).abs() < 1e-6);
+        assert!((roots[1].re + 10.0).abs() < 1e-8);
+        assert!((roots[2].re + 1.0).abs() < 1e-9);
+        for r in &roots {
+            assert!(r.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn quintic_mixed_roots() {
+        let truth = [
+            Complex64::from_re(-2.0),
+            Complex64::new(-1.0, 3.0),
+            Complex64::new(-1.0, -3.0),
+            Complex64::from_re(-0.5),
+            Complex64::from_re(-40.0),
+        ];
+        let p = Poly::from_roots(&truth);
+        let roots = p.roots().unwrap();
+        assert_eq!(roots.len(), 5);
+        for t in truth {
+            let best = roots
+                .iter()
+                .map(|r| (*r - t).abs())
+                .fold(f64::MAX, f64::min);
+            assert!(best < 1e-6, "missing root {t}");
+        }
+    }
+
+    #[test]
+    fn roots_at_origin_factored() {
+        // s^2 (s + 3)
+        let p = Poly::new(vec![0.0, 0.0, 3.0, 1.0]);
+        let roots = sorted_re(p.roots().unwrap());
+        assert_eq!(roots.len(), 3);
+        assert!((roots[0].re + 3.0).abs() < 1e-12);
+        assert!(roots[1].abs() < 1e-15 && roots[2].abs() < 1e-15);
+    }
+
+    #[test]
+    fn widely_spread_roots() {
+        // Pole spreads typical of AWE after scaling: ratios of 1e3.
+        let truth = [-1.0, -37.0, -145.0, -999.0];
+        let p = Poly::from_roots(&truth.map(Complex64::from_re));
+        let roots = p.roots().unwrap();
+        for t in truth {
+            let best = roots
+                .iter()
+                .map(|r| (r.re - t).abs() / t.abs())
+                .fold(f64::MAX, f64::min);
+            assert!(best < 1e-6, "missing root {t}");
+        }
+    }
+
+    #[test]
+    fn degenerate_inputs_error() {
+        assert!(Poly::constant(3.0).roots().is_err());
+        assert!(Poly::zero().roots().is_err());
+    }
+
+    #[test]
+    fn linear_root() {
+        let p = Poly::new(vec![4.0, 2.0]);
+        let r = p.roots().unwrap();
+        assert_eq!(r.len(), 1);
+        assert!((r[0].re + 2.0).abs() < 1e-15);
+    }
+}

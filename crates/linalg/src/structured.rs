@@ -1,0 +1,175 @@
+//! Structured solves used by the Padé step of AWE: the Hankel system for the
+//! denominator coefficients and the (complex) Vandermonde-like system for the
+//! residues.
+
+use crate::mat::{CMat, Mat};
+use crate::{Complex64, LinalgError};
+
+/// Solves the AWE moment (Hankel) system for the denominator coefficients.
+///
+/// Given `2q` moments `m_0 … m_{2q-1}`, returns `b = [b_1, …, b_q]` such that
+/// for `k = q … 2q-1`:
+///
+/// ```text
+/// m_k + b_1 m_{k-1} + … + b_q m_{k-q} = 0
+/// ```
+///
+/// i.e. the denominator is `1 + b_1 s + … + b_q s^q` after the usual AWE
+/// convention.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] when fewer than `2q` moments are
+/// provided and [`LinalgError::Singular`] when the Hankel matrix is singular
+/// (the circuit has fewer than `q` observable poles).
+///
+/// # Example
+///
+/// ```
+/// use awesym_linalg::solve_hankel;
+///
+/// // H(s) = 1 / (1 + s): moments 1, -1, 1, -1 …  => b = [1]
+/// let b = solve_hankel(&[1.0, -1.0], 1)?;
+/// assert!((b[0] - 1.0).abs() < 1e-12);
+/// # Ok::<(), awesym_linalg::LinalgError>(())
+/// ```
+pub fn solve_hankel(moments: &[f64], q: usize) -> Result<Vec<f64>, LinalgError> {
+    if moments.len() < 2 * q {
+        return Err(LinalgError::ShapeMismatch {
+            expected: format!("at least {} moments", 2 * q),
+            got: format!("{}", moments.len()),
+        });
+    }
+    if q == 0 {
+        return Ok(Vec::new());
+    }
+    // Row r (r = 0..q) encodes k = q + r:
+    //   sum_{j=1..q} b_j * m_{k-j} = -m_k
+    let a = Mat::from_fn(q, q, |r, j| moments[q + r - (j + 1)]);
+    let rhs: Vec<f64> = (0..q).map(|r| -moments[q + r]).collect();
+    a.solve(&rhs)
+}
+
+/// Solves for residues `k_i` from poles `p_i` and moments by matching
+///
+/// ```text
+/// m_j = -Σ_i k_i / p_i^{j+1},   j = 0 … n-1
+/// ```
+///
+/// which is a Vandermonde system in `1/p_i`. Complex poles give complex
+/// residues (conjugate-paired for real moment data).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::ShapeMismatch`] when fewer moments than poles are
+/// supplied and [`LinalgError::Singular`] for repeated poles.
+pub fn solve_vandermonde_complex(
+    poles: &[Complex64],
+    moments: &[f64],
+) -> Result<Vec<Complex64>, LinalgError> {
+    let n = poles.len();
+    if moments.len() < n {
+        return Err(LinalgError::ShapeMismatch {
+            expected: format!("at least {n} moments"),
+            got: format!("{}", moments.len()),
+        });
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let mut a = CMat::zeros(n, n);
+    for (i, &p) in poles.iter().enumerate() {
+        let inv = p.recip();
+        let mut w = inv; // 1/p^(j+1) with j = 0
+        for j in 0..n {
+            a[(j, i)] = -w;
+            w = w * inv;
+        }
+    }
+    let rhs: Vec<Complex64> = moments[..n]
+        .iter()
+        .map(|&m| Complex64::from_re(m))
+        .collect();
+    a.solve(&rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hankel_single_pole() {
+        // H(s) = 2/(1+3s): m_k = 2 (-3)^k
+        let m = [2.0, -6.0, 18.0, -54.0];
+        let b = solve_hankel(&m, 1).unwrap();
+        assert!((b[0] - 3.0).abs() < 1e-12);
+        let b2 = solve_hankel(&m, 2);
+        // Only one pole exists, q=2 Hankel is singular.
+        assert!(b2.is_err());
+    }
+
+    #[test]
+    fn hankel_two_poles() {
+        // H(s) = 1/(1+s) + 1/(1+0.5 s) => denominator (1+s)(1+0.5s) = 1 + 1.5 s + 0.5 s^2
+        let mk = |k: u32| (-1.0_f64).powi(k as i32) * (1.0 + 0.5_f64.powi(k as i32));
+        let m: Vec<f64> = (0..4).map(mk).collect();
+        let b = solve_hankel(&m, 2).unwrap();
+        assert!((b[0] - 1.5).abs() < 1e-12);
+        assert!((b[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hankel_needs_enough_moments() {
+        assert!(matches!(
+            solve_hankel(&[1.0, 2.0, 3.0], 2),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        assert!(solve_hankel(&[], 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn residues_single_pole() {
+        // H(s) = k/(s - p), p = -2, k = 4: m_j = -k/p^{j+1}
+        let p = Complex64::from_re(-2.0);
+        let m: Vec<f64> = (0..1).map(|j| 4.0 / 2.0_f64.powi(j + 1)).collect();
+        let k = solve_vandermonde_complex(&[p], &m).unwrap();
+        assert!((k[0].re - 4.0).abs() < 1e-12);
+        assert!(k[0].im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn residues_complex_pair() {
+        // Poles -1 ± 2i with residues 0.5 ∓ 0.25i (conjugate pair, real H).
+        let p1 = Complex64::new(-1.0, 2.0);
+        let p2 = p1.conj();
+        let k1 = Complex64::new(0.5, -0.25);
+        let k2 = k1.conj();
+        let m: Vec<f64> = (0..2)
+            .map(|j| {
+                let t = k1 / pow(p1, j + 1) + k2 / pow(p2, j + 1);
+                -t.re
+            })
+            .collect();
+        let ks = solve_vandermonde_complex(&[p1, p2], &m).unwrap();
+        assert!((ks[0] - k1).abs() < 1e-10);
+        assert!((ks[1] - k2).abs() < 1e-10);
+    }
+
+    fn pow(z: Complex64, n: u32) -> Complex64 {
+        let mut acc = Complex64::ONE;
+        for _ in 0..n {
+            acc *= z;
+        }
+        acc
+    }
+
+    #[test]
+    fn residues_shape_check() {
+        let p = [Complex64::from_re(-1.0), Complex64::from_re(-2.0)];
+        assert!(matches!(
+            solve_vandermonde_complex(&p, &[1.0]),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        assert!(solve_vandermonde_complex(&[], &[]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! Error type for MNA formulation and analysis.
+
+use awesym_linalg::LinalgError;
+use std::fmt;
+
+/// Errors produced while building or solving an MNA system.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MnaError {
+    /// A current-controlled source references a branch that does not exist
+    /// or does not carry an explicit MNA current.
+    UnknownControlBranch {
+        /// Name of the referencing element.
+        element: String,
+        /// Name of the missing control branch.
+        branch: String,
+    },
+    /// The system matrix is singular — typically a node without a DC path
+    /// to ground or a loop of voltage sources.
+    Singular(LinalgError),
+    /// The referenced element id/node does not belong to this circuit.
+    BadReference {
+        /// Description of the bad reference.
+        what: String,
+    },
+}
+
+impl fmt::Display for MnaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MnaError::UnknownControlBranch { element, branch } => {
+                write!(
+                    f,
+                    "element {element} references unknown control branch {branch}"
+                )
+            }
+            MnaError::Singular(e) => write!(f, "mna system is singular: {e}"),
+            MnaError::BadReference { what } => write!(f, "bad reference: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MnaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MnaError::Singular(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for MnaError {
+    fn from(e: LinalgError) -> Self {
+        MnaError::Singular(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = MnaError::UnknownControlBranch {
+            element: "F1".into(),
+            branch: "Vx".into(),
+        };
+        assert!(e.to_string().contains("Vx"));
+        let s = MnaError::Singular(LinalgError::Singular { step: 2 });
+        assert!(s.source().is_some());
+        assert!(s.to_string().contains("singular"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Modified nodal analysis (MNA) for AWEsymbolic.
+//!
+//! Following Ho, Ruehli and Brennan, a linear circuit is formulated as
+//!
+//! ```text
+//! (G + s·C) · x(s) = b·u(s)
+//! ```
+//!
+//! where `x` stacks the non-ground node voltages and one branch current per
+//! voltage-defined element (independent voltage sources, inductors, VCVS,
+//! CCVS). The paper's moment recursion, the AC analysis, and the transient
+//! baseline all operate on this single formulation:
+//!
+//! - [`Mna::dc_solve`] — operating point / resistive solve;
+//! - [`Mna::ac_transfer`] — frequency response by direct complex solves;
+//! - [`transient`] — backward-Euler / trapezoidal time stepping, the
+//!   "traditional circuit simulator" the paper benchmarks AWE against.
+//!
+//! # Example
+//!
+//! ```
+//! use awesym_circuit::{Circuit, Element};
+//! use awesym_mna::Mna;
+//!
+//! # fn main() -> Result<(), awesym_mna::MnaError> {
+//! let mut c = Circuit::new();
+//! let n1 = c.node("1");
+//! let n2 = c.node("2");
+//! c.add(Element::vsource("V1", n1, Circuit::GROUND, 10.0));
+//! c.add(Element::resistor("R1", n1, n2, 1e3));
+//! c.add(Element::resistor("R2", n2, Circuit::GROUND, 1e3));
+//! let mna = Mna::build(&c)?;
+//! let x = mna.dc_solve()?;
+//! assert!((mna.voltage(&x, n2) - 5.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod builder;
+mod error;
+mod transient;
+
+pub use builder::{Mna, Probe, StampEntry};
+pub use error::MnaError;
+pub use transient::{transient, IntegrationMethod, TransientOptions, TransientResult, Waveform};

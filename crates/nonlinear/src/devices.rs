@@ -1,0 +1,250 @@
+//! Nonlinear device models: pn diode and Ebers–Moll bipolar transistor.
+
+use awesym_circuit::Node;
+
+/// Thermal voltage at 300 K (V).
+pub const VT: f64 = 0.02585;
+
+/// Diode model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiodeParams {
+    /// Saturation current (A).
+    pub is: f64,
+    /// Ideality factor.
+    pub n: f64,
+    /// Zero-bias junction capacitance (F); linearized as-is.
+    pub cj0: f64,
+    /// Transit time (s) for the diffusion capacitance `τ·g_d`.
+    pub tt: f64,
+}
+
+impl Default for DiodeParams {
+    fn default() -> Self {
+        DiodeParams {
+            is: 1e-14,
+            n: 1.0,
+            cj0: 1e-12,
+            tt: 5e-9,
+        }
+    }
+}
+
+/// Bipolar transistor parameters (Ebers–Moll transport form).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BjtParams {
+    /// Transport saturation current (A).
+    pub is: f64,
+    /// Forward beta.
+    pub beta_f: f64,
+    /// Reverse beta.
+    pub beta_r: f64,
+    /// Early voltage (V), used for the small-signal `r_o`.
+    pub va: f64,
+    /// Base-emitter zero-bias junction capacitance (F).
+    pub cje: f64,
+    /// Base-collector zero-bias junction capacitance (F).
+    pub cjc: f64,
+    /// Forward transit time (s) for the diffusion capacitance.
+    pub tf: f64,
+    /// Base spreading resistance (Ω) for the linearized model.
+    pub rb: f64,
+}
+
+impl Default for BjtParams {
+    fn default() -> Self {
+        BjtParams {
+            is: 1e-16,
+            beta_f: 200.0,
+            beta_r: 2.0,
+            va: 50.0,
+            cje: 2e-12,
+            cjc: 1e-12,
+            tf: 0.3e-9,
+            rb: 200.0,
+        }
+    }
+}
+
+/// A nonlinear device instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Device {
+    /// pn diode conducting from `p` to `n`.
+    Diode {
+        /// Instance name.
+        name: String,
+        /// Anode.
+        p: Node,
+        /// Cathode.
+        n: Node,
+        /// Parameters.
+        params: DiodeParams,
+    },
+    /// NPN bipolar transistor.
+    Npn {
+        /// Instance name.
+        name: String,
+        /// Base.
+        b: Node,
+        /// Collector.
+        c: Node,
+        /// Emitter.
+        e: Node,
+        /// Parameters.
+        params: BjtParams,
+    },
+    /// PNP bipolar transistor (junction polarities mirrored).
+    Pnp {
+        /// Instance name.
+        name: String,
+        /// Base.
+        b: Node,
+        /// Collector.
+        c: Node,
+        /// Emitter.
+        e: Node,
+        /// Parameters.
+        params: BjtParams,
+    },
+}
+
+impl Device {
+    /// Diode constructor.
+    pub fn diode(name: &str, p: Node, n: Node, params: DiodeParams) -> Device {
+        Device::Diode {
+            name: name.into(),
+            p,
+            n,
+            params,
+        }
+    }
+
+    /// NPN constructor.
+    pub fn npn(name: &str, b: Node, c: Node, e: Node, params: BjtParams) -> Device {
+        Device::Npn {
+            name: name.into(),
+            b,
+            c,
+            e,
+            params,
+        }
+    }
+
+    /// PNP constructor.
+    pub fn pnp(name: &str, b: Node, c: Node, e: Node, params: BjtParams) -> Device {
+        Device::Pnp {
+            name: name.into(),
+            b,
+            c,
+            e,
+            params,
+        }
+    }
+
+    /// Instance name.
+    pub fn name(&self) -> &str {
+        match self {
+            Device::Diode { name, .. } | Device::Npn { name, .. } | Device::Pnp { name, .. } => {
+                name
+            }
+        }
+    }
+}
+
+/// Limited exponential: `exp` with linear extrapolation above `max_arg`
+/// to keep Newton iterations finite.
+pub(crate) fn lim_exp(x: f64) -> (f64, f64) {
+    const MAX: f64 = 80.0;
+    if x <= MAX {
+        let e = x.exp();
+        (e, e)
+    } else {
+        let e = MAX.exp();
+        (e * (1.0 + (x - MAX)), e)
+    }
+}
+
+/// Diode current and conductance at junction voltage `v`.
+pub(crate) fn diode_iv(p: &DiodeParams, v: f64) -> (f64, f64) {
+    let nvt = p.n * VT;
+    let (e, de) = lim_exp(v / nvt);
+    let i = p.is * (e - 1.0);
+    let g = p.is * de / nvt;
+    (i, g.max(1e-15))
+}
+
+/// Standard pn-junction voltage limiting (SPICE's `pnjlim`): prevents the
+/// Newton step from overshooting the exponential.
+pub(crate) fn pnjlim(v_new: f64, v_old: f64, vt: f64, v_crit: f64) -> f64 {
+    if v_new > v_crit && (v_new - v_old).abs() > 2.0 * vt {
+        if v_old > 0.0 {
+            let arg = 1.0 + (v_new - v_old) / vt;
+            if arg > 0.0 {
+                v_old + vt * arg.ln()
+            } else {
+                v_crit
+            }
+        } else {
+            vt * (v_new / vt).max(1.0).ln()
+        }
+    } else {
+        v_new
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diode_iv_behaves() {
+        let p = DiodeParams::default();
+        let (i0, g0) = diode_iv(&p, 0.0);
+        assert_eq!(i0, 0.0);
+        assert!(g0 > 0.0);
+        let (i, g) = diode_iv(&p, 0.7);
+        assert!(i > 1e-4, "forward current {i}");
+        // g = dI/dV ≈ I/VT for strong forward bias.
+        assert!((g - i / VT).abs() < 0.01 * g);
+        let (ir, _) = diode_iv(&p, -5.0);
+        assert!((ir + p.is).abs() < 1e-20, "reverse saturation {ir}");
+    }
+
+    #[test]
+    fn lim_exp_is_continuous_and_monotone() {
+        let (a, _) = lim_exp(79.999);
+        let (b, _) = lim_exp(80.001);
+        assert!(b >= a);
+        let (c, _) = lim_exp(200.0);
+        assert!(c.is_finite() && c > b);
+    }
+
+    #[test]
+    fn pnjlim_limits_big_steps() {
+        let v = pnjlim(5.0, 0.6, VT, 0.65);
+        assert!(v < 1.0, "limited to {v}");
+        // Small steps pass through.
+        assert_eq!(pnjlim(0.61, 0.6, VT, 0.65), 0.61);
+        // Steps below the critical voltage pass through.
+        assert_eq!(pnjlim(0.3, 0.0, VT, 0.65), 0.3);
+    }
+
+    #[test]
+    fn constructors_and_names() {
+        use awesym_circuit::Circuit;
+        let d = Device::diode(
+            "D1",
+            awesym_circuit::Node(1),
+            Circuit::GROUND,
+            DiodeParams::default(),
+        );
+        assert_eq!(d.name(), "D1");
+        let q = Device::npn(
+            "Q1",
+            awesym_circuit::Node(1),
+            awesym_circuit::Node(2),
+            Circuit::GROUND,
+            BjtParams::default(),
+        );
+        assert_eq!(q.name(), "Q1");
+    }
+}

@@ -1,0 +1,45 @@
+//! Nonlinear front end: DC operating point and small-signal linearization.
+//!
+//! The paper analyzes *linear(ized)* circuits — its 741 example is "the
+//! small signal circuit after linearization". This crate supplies that
+//! step for netlists containing diodes and bipolar transistors:
+//!
+//! 1. [`NonlinearCircuit::dc_operating_point`] — Newton–Raphson with
+//!    junction-voltage limiting, each iteration solving a linear companion
+//!    circuit through the workspace MNA/sparse-LU stack;
+//! 2. [`NonlinearCircuit::linearize`] — emits the small-signal
+//!    [`Circuit`](awesym_circuit::Circuit)
+//!    (hybrid-π transistors, junction conductances and capacitances at
+//!    the bias point) ready for AWE / AWEsymbolic.
+//!
+//! # Example
+//!
+//! ```
+//! use awesym_circuit::{Circuit, Element};
+//! use awesym_nonlinear::{Device, DiodeParams, NonlinearCircuit};
+//!
+//! # fn main() -> Result<(), awesym_nonlinear::NonlinearError> {
+//! // 5 V — 1 kΩ — diode to ground.
+//! let mut lin = Circuit::new();
+//! let n1 = lin.node("1");
+//! let n2 = lin.node("2");
+//! lin.add(Element::vsource("VCC", n1, Circuit::GROUND, 5.0));
+//! lin.add(Element::resistor("R1", n1, n2, 1e3));
+//! let mut ckt = NonlinearCircuit::new(lin);
+//! ckt.add(Device::diode("D1", n2, Circuit::GROUND, DiodeParams::default()));
+//! let op = ckt.dc_operating_point()?;
+//! let vd = op.voltage(n2);
+//! assert!(vd > 0.5 && vd < 0.8, "diode drop {vd}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+mod devices;
+mod newton;
+mod parse;
+
+pub use devices::{BjtParams, Device, DiodeParams};
+pub use newton::{DeviceBias, NewtonOptions, NonlinearCircuit, NonlinearError, OperatingPoint};
+pub use parse::parse_spice_nonlinear;

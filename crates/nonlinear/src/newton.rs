@@ -1,0 +1,758 @@
+//! Newton–Raphson DC solution and small-signal linearization.
+
+use crate::devices::{diode_iv, lim_exp, pnjlim, BjtParams, Device, VT};
+use awesym_circuit::{Circuit, Element, Node};
+use awesym_mna::{Mna, MnaError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Newton iteration controls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonOptions {
+    /// Maximum iterations per source step.
+    pub max_iter: usize,
+    /// Absolute voltage tolerance (V).
+    pub abstol: f64,
+    /// Relative voltage tolerance.
+    pub reltol: f64,
+    /// Minimum conductance added across every junction (helps
+    /// convergence, SPICE's `gmin`).
+    pub gmin: f64,
+    /// Source-stepping levels tried when plain Newton diverges.
+    pub source_steps: usize,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            max_iter: 200,
+            abstol: 1e-9,
+            reltol: 1e-6,
+            gmin: 1e-12,
+            source_steps: 8,
+        }
+    }
+}
+
+/// Errors from the nonlinear solver.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NonlinearError {
+    /// Newton failed to converge even with source stepping.
+    NoConvergence {
+        /// Iterations used in the final attempt.
+        iterations: usize,
+    },
+    /// The companion (linearized) system failed to formulate or solve.
+    Mna(MnaError),
+    /// A device name collides with a linear element name.
+    NameCollision {
+        /// The duplicated name.
+        name: String,
+    },
+}
+
+impl fmt::Display for NonlinearError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NonlinearError::NoConvergence { iterations } => {
+                write!(
+                    f,
+                    "newton iteration did not converge after {iterations} iterations"
+                )
+            }
+            NonlinearError::Mna(e) => write!(f, "companion solve failed: {e}"),
+            NonlinearError::NameCollision { name } => {
+                write!(f, "device name {name} collides with a linear element")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NonlinearError {}
+
+impl From<MnaError> for NonlinearError {
+    fn from(e: MnaError) -> Self {
+        NonlinearError::Mna(e)
+    }
+}
+
+/// Per-device bias record captured at the converged operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceBias {
+    /// Diode bias.
+    Diode {
+        /// Junction voltage (V).
+        v: f64,
+        /// Current (A).
+        i: f64,
+        /// Small-signal conductance (S).
+        g: f64,
+    },
+    /// BJT bias (values in NPN orientation; PNP records its mirrored
+    /// junction voltages).
+    Bjt {
+        /// Base-emitter voltage (V).
+        vbe: f64,
+        /// Base-collector voltage (V).
+        vbc: f64,
+        /// Collector current (A).
+        ic: f64,
+        /// Base current (A).
+        ib: f64,
+        /// Transconductance (S).
+        gm: f64,
+        /// Input conductance `gπ` (S).
+        gpi: f64,
+        /// Feedback conductance `gμ` (S).
+        gmu: f64,
+    },
+}
+
+/// Converged DC solution.
+#[derive(Debug, Clone)]
+pub struct OperatingPoint {
+    voltages: Vec<f64>,
+    bias: HashMap<String, DeviceBias>,
+    iterations: usize,
+}
+
+impl OperatingPoint {
+    /// DC voltage of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics for nodes not in the solved circuit.
+    pub fn voltage(&self, n: Node) -> f64 {
+        self.voltages[n.0]
+    }
+
+    /// Bias record of a named device.
+    pub fn device_bias(&self, name: &str) -> Option<&DeviceBias> {
+        self.bias.get(name)
+    }
+
+    /// Newton iterations used (total across source steps).
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+}
+
+/// A circuit with linear elements plus nonlinear devices.
+#[derive(Debug, Clone)]
+pub struct NonlinearCircuit {
+    linear: Circuit,
+    devices: Vec<Device>,
+}
+
+impl NonlinearCircuit {
+    /// Wraps the linear part (sources, resistors, capacitors, …).
+    pub fn new(linear: Circuit) -> Self {
+        NonlinearCircuit {
+            linear,
+            devices: Vec::new(),
+        }
+    }
+
+    /// Adds a nonlinear device.
+    pub fn add(&mut self, d: Device) {
+        self.devices.push(d);
+    }
+
+    /// The linear sub-circuit.
+    pub fn linear(&self) -> &Circuit {
+        &self.linear
+    }
+
+    /// The devices.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// Solves the DC operating point with default options.
+    ///
+    /// # Errors
+    ///
+    /// See [`NonlinearCircuit::dc_operating_point_with`].
+    pub fn dc_operating_point(&self) -> Result<OperatingPoint, NonlinearError> {
+        self.dc_operating_point_with(&NewtonOptions::default())
+    }
+
+    /// Solves the DC operating point: Newton–Raphson with junction
+    /// limiting, falling back to source stepping when plain Newton
+    /// diverges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NonlinearError::NoConvergence`] when every strategy
+    /// fails, [`NonlinearError::NameCollision`] for duplicated names, and
+    /// formulation errors from the companion solve.
+    pub fn dc_operating_point_with(
+        &self,
+        opts: &NewtonOptions,
+    ) -> Result<OperatingPoint, NonlinearError> {
+        for d in &self.devices {
+            if self.linear.find(d.name()).is_some() {
+                return Err(NonlinearError::NameCollision {
+                    name: d.name().to_string(),
+                });
+            }
+        }
+        // Plain Newton first, then source stepping.
+        let mut v0 = vec![0.0; self.linear.num_nodes()];
+        match self.newton(&mut v0, 1.0, opts) {
+            Ok(iters) => Ok(self.finish(v0, iters)),
+            Err(_) => {
+                let mut v = vec![0.0; self.linear.num_nodes()];
+                let mut total = 0;
+                for step in 1..=opts.source_steps {
+                    let scale = step as f64 / opts.source_steps as f64;
+                    total += self.newton(&mut v, scale, opts).map_err(|_| {
+                        NonlinearError::NoConvergence {
+                            iterations: total + opts.max_iter,
+                        }
+                    })?;
+                }
+                Ok(self.finish(v, total))
+            }
+        }
+    }
+
+    fn finish(&self, voltages: Vec<f64>, iterations: usize) -> OperatingPoint {
+        let mut bias = HashMap::new();
+        for d in &self.devices {
+            bias.insert(d.name().to_string(), self.bias_of(d, &voltages));
+        }
+        OperatingPoint {
+            voltages,
+            bias,
+            iterations,
+        }
+    }
+
+    fn bias_of(&self, d: &Device, v: &[f64]) -> DeviceBias {
+        match d {
+            Device::Diode { p, n, params, .. } => {
+                let vj = v[p.0] - v[n.0];
+                let (i, g) = diode_iv(params, vj);
+                DeviceBias::Diode { v: vj, i, g }
+            }
+            Device::Npn {
+                b, c, e, params, ..
+            } => bjt_bias(params, v[b.0] - v[e.0], v[b.0] - v[c.0]),
+            Device::Pnp {
+                b, c, e, params, ..
+            } => bjt_bias(params, v[e.0] - v[b.0], v[c.0] - v[b.0]),
+        }
+    }
+
+    /// One Newton solve at the given source scaling. Returns iterations.
+    fn newton(
+        &self,
+        v: &mut [f64],
+        source_scale: f64,
+        opts: &NewtonOptions,
+    ) -> Result<usize, NonlinearError> {
+        for iter in 1..=opts.max_iter {
+            let companion = self.companion(v, source_scale, opts.gmin)?;
+            let mna = Mna::build(&companion)?;
+            let x = mna.dc_solve()?;
+            let mut new_v = vec![0.0; self.linear.num_nodes()];
+            for k in 1..self.linear.num_nodes() {
+                new_v[k] = mna.voltage(&x, Node(k));
+            }
+            // Junction limiting.
+            self.limit(v, &mut new_v);
+            let mut max_dv = 0.0f64;
+            for k in 0..v.len() {
+                let dv = (new_v[k] - v[k]).abs();
+                max_dv = max_dv.max(dv);
+                v[k] = new_v[k];
+            }
+            let scale = v.iter().fold(0.0f64, |a, &b| a.max(b.abs()));
+            if max_dv < opts.abstol + opts.reltol * scale {
+                return Ok(iter);
+            }
+        }
+        Err(NonlinearError::NoConvergence {
+            iterations: opts.max_iter,
+        })
+    }
+
+    /// Applies pn-junction limiting to the proposed update.
+    fn limit(&self, v_old: &[f64], v_new: &mut [f64]) {
+        for d in &self.devices {
+            match d {
+                Device::Diode { p, n, params, .. } => {
+                    let vo = v_old[p.0] - v_old[n.0];
+                    let vn = v_new[p.0] - v_new[n.0];
+                    let nvt = params.n * VT;
+                    let vcrit = nvt * (nvt / (std::f64::consts::SQRT_2 * params.is)).ln();
+                    let vl = pnjlim(vn, vo, nvt, vcrit);
+                    if vl != vn {
+                        // Push the correction onto the anode node (heuristic
+                        // but effective: ground-referenced junctions).
+                        if !p.is_ground() {
+                            v_new[p.0] += vl - vn;
+                        } else if !n.is_ground() {
+                            v_new[n.0] -= vl - vn;
+                        }
+                    }
+                }
+                Device::Npn { b, e, params, .. } => {
+                    limit_junction(v_old, v_new, *b, *e, params.is);
+                }
+                Device::Pnp { b, e, params, .. } => {
+                    limit_junction(v_old, v_new, *e, *b, params.is);
+                }
+            }
+        }
+    }
+
+    /// Builds the linear companion circuit at the present iterate.
+    fn companion(
+        &self,
+        v: &[f64],
+        source_scale: f64,
+        gmin: f64,
+    ) -> Result<Circuit, NonlinearError> {
+        let mut c = Circuit::new();
+        for k in 1..self.linear.num_nodes() {
+            c.node(self.linear.node_name(Node(k)));
+        }
+        for e in self.linear.elements() {
+            let mut e2 = e.clone();
+            if matches!(
+                e.kind,
+                awesym_circuit::ElementKind::Vsource | awesym_circuit::ElementKind::Isource
+            ) {
+                e2.value *= source_scale;
+            }
+            // Open-circuit capacitors at DC are implicit (they stamp only
+            // C); inductors short through their branch equations.
+            c.add(e2);
+        }
+        for d in &self.devices {
+            match d {
+                Device::Diode { name, p, n, params } => {
+                    let vj = v[p.0] - v[n.0];
+                    let (i, g) = diode_iv(params, vj);
+                    let g = g + gmin;
+                    c.add(Element::resistor(&format!("{name}_g"), *p, *n, 1.0 / g));
+                    let ieq = i - g * vj;
+                    if ieq != 0.0 {
+                        c.add(Element::isource(&format!("{name}_i"), *p, *n, ieq));
+                    }
+                }
+                Device::Npn {
+                    name,
+                    b,
+                    c: col,
+                    e,
+                    params,
+                } => {
+                    stamp_bjt_companion(
+                        &mut c,
+                        name,
+                        *b,
+                        *col,
+                        *e,
+                        params,
+                        v[b.0] - v[e.0],
+                        v[b.0] - v[col.0],
+                        gmin,
+                        false,
+                    );
+                }
+                Device::Pnp {
+                    name,
+                    b,
+                    c: col,
+                    e,
+                    params,
+                } => {
+                    stamp_bjt_companion(
+                        &mut c,
+                        name,
+                        *b,
+                        *col,
+                        *e,
+                        params,
+                        v[e.0] - v[b.0],
+                        v[col.0] - v[b.0],
+                        gmin,
+                        true,
+                    );
+                }
+            }
+        }
+        Ok(c)
+    }
+
+    /// Emits the small-signal (linearized) circuit at an operating point —
+    /// the input AWE and AWEsymbolic consume. Independent sources are kept
+    /// (AWE drives them at unit amplitude); every device becomes its
+    /// incremental model.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `op` comes from a different circuit (node count
+    /// mismatch).
+    pub fn linearize(&self, op: &OperatingPoint) -> Circuit {
+        assert_eq!(
+            op.voltages.len(),
+            self.linear.num_nodes(),
+            "operating point belongs to a different circuit"
+        );
+        let mut c = Circuit::new();
+        for k in 1..self.linear.num_nodes() {
+            c.node(self.linear.node_name(Node(k)));
+        }
+        for e in self.linear.elements() {
+            c.add(e.clone());
+        }
+        for d in &self.devices {
+            match d {
+                Device::Diode { name, p, n, params } => {
+                    let Some(DeviceBias::Diode { g, .. }) = op.device_bias(name) else {
+                        continue;
+                    };
+                    c.add(Element::resistor(&format!("rd_{name}"), *p, *n, 1.0 / g));
+                    let cap = params.cj0 + params.tt * g;
+                    c.add(Element::capacitor(&format!("cd_{name}"), *p, *n, cap));
+                }
+                Device::Npn {
+                    name,
+                    b,
+                    c: col,
+                    e,
+                    params,
+                }
+                | Device::Pnp {
+                    name,
+                    b,
+                    c: col,
+                    e,
+                    params,
+                } => {
+                    let Some(DeviceBias::Bjt {
+                        ic,
+                        gm,
+                        gpi,
+                        gmu,
+                        vbc,
+                        ..
+                    }) = op.device_bias(name)
+                    else {
+                        continue;
+                    };
+                    // Hybrid-π: identical structure for NPN and PNP.
+                    let bi = c.node(&format!("{name}_bi"));
+                    c.add(Element::resistor(&format!("rb_{name}"), *b, bi, params.rb));
+                    c.add(Element::resistor(
+                        &format!("rpi_{name}"),
+                        bi,
+                        *e,
+                        1.0 / gpi.max(1e-18),
+                    ));
+                    c.add(Element::vccs(&format!("gm_{name}"), *col, *e, bi, *e, *gm));
+                    let go = ic.abs() / (params.va + vbc.abs()).max(1.0);
+                    c.add(Element::resistor(
+                        &format!("ro_{name}"),
+                        *col,
+                        *e,
+                        1.0 / go.max(1e-18),
+                    ));
+                    if *gmu > 1e-18 {
+                        c.add(Element::resistor(
+                            &format!("rmu_{name}"),
+                            bi,
+                            *col,
+                            1.0 / gmu,
+                        ));
+                    }
+                    let cpi = params.cje + params.tf * gm;
+                    c.add(Element::capacitor(&format!("cpi_{name}"), bi, *e, cpi));
+                    c.add(Element::capacitor(
+                        &format!("cmu_{name}"),
+                        bi,
+                        *col,
+                        params.cjc,
+                    ));
+                }
+            }
+        }
+        c
+    }
+}
+
+fn limit_junction(v_old: &[f64], v_new: &mut [f64], p: Node, n: Node, is: f64) {
+    let vo = v_old[p.0] - v_old[n.0];
+    let vn = v_new[p.0] - v_new[n.0];
+    let vcrit = VT * (VT / (std::f64::consts::SQRT_2 * is)).ln();
+    let vl = pnjlim(vn, vo, VT, vcrit);
+    if vl != vn {
+        if !p.is_ground() {
+            v_new[p.0] += vl - vn;
+        } else if !n.is_ground() {
+            v_new[n.0] -= vl - vn;
+        }
+    }
+}
+
+fn bjt_bias(p: &BjtParams, vbe: f64, vbc: f64) -> DeviceBias {
+    let (ef, def) = lim_exp(vbe / VT);
+    let (er, der) = lim_exp(vbc / VT);
+    let icc = p.is * (ef - er);
+    let ibe = p.is / p.beta_f * (ef - 1.0);
+    let ibc = p.is / p.beta_r * (er - 1.0);
+    let gm = p.is * def / VT;
+    let gpi = p.is / p.beta_f * def / VT;
+    let gmu = p.is / p.beta_r * der / VT;
+    DeviceBias::Bjt {
+        vbe,
+        vbc,
+        ic: icc - ibc,
+        ib: ibe + ibc,
+        gm,
+        gpi,
+        gmu,
+    }
+}
+
+/// Stamps the Ebers–Moll companion model. `mirror = true` flips every
+/// current direction and control polarity (PNP).
+#[allow(clippy::too_many_arguments)]
+fn stamp_bjt_companion(
+    c: &mut Circuit,
+    name: &str,
+    b: Node,
+    col: Node,
+    e: Node,
+    p: &BjtParams,
+    vbe: f64,
+    vbc: f64,
+    gmin: f64,
+    mirror: bool,
+) {
+    let (ef, def) = lim_exp(vbe / VT);
+    let (er, der) = lim_exp(vbc / VT);
+    let icc = p.is * (ef - er);
+    let ibe = p.is / p.beta_f * (ef - 1.0);
+    let ibc = p.is / p.beta_r * (er - 1.0);
+    let gpi = (p.is / p.beta_f * def / VT) + gmin;
+    let gmu = (p.is / p.beta_r * der / VT) + gmin;
+    let gmf = p.is * def / VT;
+    let gmr = p.is * der / VT;
+
+    // Orientation helpers: for a PNP the physical junctions are e→b and
+    // c→b and the transport current runs e→c.
+    let (jp, jn) = if mirror { (e, b) } else { (b, e) };
+    let (kp, kn) = if mirror { (col, b) } else { (b, col) };
+    let (tp, tn) = if mirror { (e, col) } else { (col, e) };
+
+    // Base-emitter junction.
+    c.add(Element::resistor(&format!("{name}_gpi"), jp, jn, 1.0 / gpi));
+    let ieq = ibe - gpi * vbe;
+    if ieq != 0.0 {
+        c.add(Element::isource(&format!("{name}_ibe"), jp, jn, ieq));
+    }
+    // Base-collector junction.
+    c.add(Element::resistor(&format!("{name}_gmu"), kp, kn, 1.0 / gmu));
+    let ieq = ibc - gmu * vbc;
+    if ieq != 0.0 {
+        c.add(Element::isource(&format!("{name}_ibc"), kp, kn, ieq));
+    }
+    // Transport current icc(vbe, vbc) flowing (c → e) in NPN orientation:
+    // icc ≈ icc0 + gmf·Δvbe − gmr·Δvbc.
+    c.add(Element::vccs(&format!("{name}_gmf"), tp, tn, jp, jn, gmf));
+    c.add(Element::vccs(&format!("{name}_gmr"), tp, tn, kp, kn, -gmr));
+    let ieq = icc - gmf * vbe + gmr * vbc;
+    if ieq != 0.0 {
+        c.add(Element::isource(&format!("{name}_icc"), tp, tn, ieq));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiodeParams;
+
+    fn diode_divider(vcc: f64, r: f64) -> (NonlinearCircuit, Node) {
+        let mut lin = Circuit::new();
+        let n1 = lin.node("1");
+        let n2 = lin.node("2");
+        lin.add(Element::vsource("VCC", n1, Circuit::GROUND, vcc));
+        lin.add(Element::resistor("R1", n1, n2, r));
+        let mut ckt = NonlinearCircuit::new(lin);
+        ckt.add(Device::diode(
+            "D1",
+            n2,
+            Circuit::GROUND,
+            DiodeParams::default(),
+        ));
+        (ckt, n2)
+    }
+
+    /// Scalar reference solution of Is(e^{v/VT}−1) = (VCC−v)/R.
+    fn diode_truth(vcc: f64, r: f64) -> f64 {
+        let p = DiodeParams::default();
+        let mut v = 0.6;
+        for _ in 0..200 {
+            let (i, g) = diode_iv(&p, v);
+            let f = i - (vcc - v) / r;
+            let df = g + 1.0 / r;
+            v -= f / df;
+        }
+        v
+    }
+
+    #[test]
+    fn diode_bias_matches_scalar_newton() {
+        for (vcc, r) in [(5.0, 1e3), (1.0, 1e5), (12.0, 47.0)] {
+            let (ckt, out) = diode_divider(vcc, r);
+            let op = ckt.dc_operating_point().unwrap();
+            let truth = diode_truth(vcc, r);
+            let got = op.voltage(out);
+            assert!(
+                (got - truth).abs() < 1e-6,
+                "vcc={vcc} r={r}: {got} vs {truth} ({} iters)",
+                op.iterations()
+            );
+        }
+    }
+
+    #[test]
+    fn reverse_biased_diode_conducts_nothing() {
+        let mut lin = Circuit::new();
+        let n1 = lin.node("1");
+        let n2 = lin.node("2");
+        lin.add(Element::vsource("VEE", n1, Circuit::GROUND, -5.0));
+        lin.add(Element::resistor("R1", n1, n2, 1e3));
+        let mut ckt = NonlinearCircuit::new(lin);
+        ckt.add(Device::diode(
+            "D1",
+            n2,
+            Circuit::GROUND,
+            DiodeParams::default(),
+        ));
+        let op = ckt.dc_operating_point().unwrap();
+        // Node 2 sits at ≈ −5 V (only saturation current flows).
+        assert!((op.voltage(n2) + 5.0).abs() < 1e-3);
+        let Some(DeviceBias::Diode { i, .. }) = op.device_bias("D1") else {
+            panic!("missing bias")
+        };
+        assert!(i.abs() < 1e-10);
+    }
+
+    fn ce_stage() -> (NonlinearCircuit, Node, Node) {
+        // VB = 1.0 V at the base, RE = 330 Ω degeneration, RC = 2 kΩ from
+        // a 10 V rail: IC ≈ (1.0 − 0.65)/330 ≈ 1 mA, forward active.
+        let mut lin = Circuit::new();
+        let vb = lin.node("vb");
+        let vc = lin.node("vcc");
+        let base = lin.node("base");
+        let coll = lin.node("coll");
+        let emit = lin.node("emit");
+        lin.add(Element::vsource("VB", vb, Circuit::GROUND, 1.0));
+        lin.add(Element::resistor("RBS", vb, base, 100.0));
+        lin.add(Element::vsource("VCC", vc, Circuit::GROUND, 10.0));
+        lin.add(Element::resistor("RC", vc, coll, 2e3));
+        lin.add(Element::resistor("RE", emit, Circuit::GROUND, 330.0));
+        let mut ckt = NonlinearCircuit::new(lin);
+        ckt.add(Device::npn("Q1", base, coll, emit, BjtParams::default()));
+        (ckt, base, coll)
+    }
+
+    #[test]
+    fn npn_common_emitter_bias() {
+        let (ckt, _base, coll) = ce_stage();
+        let op = ckt.dc_operating_point().unwrap();
+        let Some(DeviceBias::Bjt { ic, vbe, ib, .. }) = op.device_bias("Q1") else {
+            panic!("missing bias")
+        };
+        assert!((0.55..0.80).contains(vbe), "vbe {vbe}");
+        assert!((0.5e-3..1.3e-3).contains(ic), "ic {ic}");
+        assert!(*ib > 0.0 && *ib < *ic / 50.0, "ib {ib}");
+        // Collector voltage: 10 − IC·RC, still forward active.
+        let vc = op.voltage(coll);
+        assert!((vc - (10.0 - ic * 2e3)).abs() < 1e-6);
+        assert!(vc > 2.0);
+    }
+
+    #[test]
+    fn pnp_mirror_of_npn() {
+        // PNP with mirrored supplies must bias symmetrically to the NPN.
+        let mut lin = Circuit::new();
+        let vb = lin.node("vb");
+        let vc = lin.node("vee");
+        let base = lin.node("base");
+        let coll = lin.node("coll");
+        let emit = lin.node("emit");
+        lin.add(Element::vsource("VB", vb, Circuit::GROUND, -1.0));
+        lin.add(Element::resistor("RBS", vb, base, 100.0));
+        lin.add(Element::vsource("VEE", vc, Circuit::GROUND, -10.0));
+        lin.add(Element::resistor("RC", vc, coll, 2e3));
+        lin.add(Element::resistor("RE", emit, Circuit::GROUND, 330.0));
+        let mut ckt = NonlinearCircuit::new(lin);
+        ckt.add(Device::pnp("Q1", base, coll, emit, BjtParams::default()));
+        let op = ckt.dc_operating_point().unwrap();
+        let Some(DeviceBias::Bjt { ic, vbe, .. }) = op.device_bias("Q1") else {
+            panic!("missing bias")
+        };
+        // PNP records its own junction orientation: veb ≈ +0.65.
+        assert!((0.55..0.80).contains(vbe), "veb {vbe}");
+        assert!((0.5e-3..1.3e-3).contains(ic), "ic {ic}");
+        assert!((op.voltage(coll) - (-10.0 + ic * 2e3)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn linearized_ce_gain_matches_hand_analysis() {
+        let (ckt, _base, coll) = ce_stage();
+        let op = ckt.dc_operating_point().unwrap();
+        let small = ckt.linearize(&op);
+        // Small-signal gain from VB to the collector ≈ −RC/(RE + 1/gm)
+        // (degenerated stage), within ~10 %.
+        let vb = small.find("VB").unwrap();
+        let awe = awesym_awe::AweAnalysis::new(&small, vb, coll).unwrap();
+        let m = awe.moments(2).unwrap().m;
+        let Some(DeviceBias::Bjt { gm, .. }) = op.device_bias("Q1") else {
+            panic!()
+        };
+        let expect = -2e3 / (330.0 + 1.0 / gm);
+        assert!(
+            (m[0] - expect).abs() < 0.1 * expect.abs(),
+            "gain {} vs {expect}",
+            m[0]
+        );
+    }
+
+    #[test]
+    fn stiff_circuit_converges_via_stepping() {
+        // Diode straight across a strong source through 1 Ω: brutal for
+        // undamped Newton, fine with limiting/stepping.
+        let (ckt, out) = diode_divider(10.0, 1.0);
+        let op = ckt.dc_operating_point().unwrap();
+        let truth = diode_truth(10.0, 1.0);
+        assert!((op.voltage(out) - truth).abs() < 1e-4);
+    }
+
+    #[test]
+    fn name_collision_rejected() {
+        let mut lin = Circuit::new();
+        let n1 = lin.node("1");
+        lin.add(Element::vsource("VCC", n1, Circuit::GROUND, 1.0));
+        lin.add(Element::resistor("D1", n1, Circuit::GROUND, 1.0));
+        let mut ckt = NonlinearCircuit::new(lin);
+        ckt.add(Device::diode(
+            "D1",
+            n1,
+            Circuit::GROUND,
+            DiodeParams::default(),
+        ));
+        assert!(matches!(
+            ckt.dc_operating_point(),
+            Err(NonlinearError::NameCollision { .. })
+        ));
+    }
+}

@@ -1,0 +1,123 @@
+//! SPICE-subset parsing extended with nonlinear device cards.
+//!
+//! ```text
+//! Dname n+ n-            diode (default parameters)
+//! Qname nc nb ne [PNP]   bipolar transistor, NPN unless tagged PNP
+//! ```
+//!
+//! Linear cards are delegated to [`awesym_circuit::parse_spice`]'s
+//! grammar.
+
+use crate::{BjtParams, Device, DiodeParams, NonlinearCircuit};
+use awesym_circuit::{parse_spice, ParseNetlistError};
+
+/// Parses a netlist that may contain `D`/`Q` cards into a
+/// [`NonlinearCircuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] with line information for malformed
+/// cards.
+pub fn parse_spice_nonlinear(text: &str) -> Result<NonlinearCircuit, ParseNetlistError> {
+    // Split device cards out, keep everything else for the linear parser.
+    let mut linear_lines = Vec::new();
+    let mut device_lines = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let t = raw.trim();
+        let first = t.chars().next().map(|c| c.to_ascii_uppercase());
+        match first {
+            Some('D') | Some('Q') => device_lines.push((idx + 1, t.to_string())),
+            _ => linear_lines.push(raw),
+        }
+    }
+    let mut linear = parse_spice(&linear_lines.join("\n"))?;
+    // Device nodes must exist in the shared node table: intern them now.
+    let mut devices = Vec::new();
+    for (line, card) in device_lines {
+        let toks: Vec<&str> = card.split_whitespace().collect();
+        let err = |message: String| ParseNetlistError { line, message };
+        match card.chars().next().unwrap().to_ascii_uppercase() {
+            'D' => {
+                if toks.len() != 3 {
+                    return Err(err(format!(
+                        "diode card needs 3 fields, found {}",
+                        toks.len()
+                    )));
+                }
+                let p = linear.node(toks[1]);
+                let n = linear.node(toks[2]);
+                devices.push(Device::diode(toks[0], p, n, DiodeParams::default()));
+            }
+            'Q' => {
+                if !(toks.len() == 4 || toks.len() == 5) {
+                    return Err(err(format!(
+                        "bjt card needs 4-5 fields, found {}",
+                        toks.len()
+                    )));
+                }
+                let c = linear.node(toks[1]);
+                let b = linear.node(toks[2]);
+                let e = linear.node(toks[3]);
+                let pnp =
+                    matches!(toks.get(4).map(|s| s.to_ascii_uppercase()), Some(s) if s == "PNP");
+                if toks.len() == 5 && !pnp && !toks[4].eq_ignore_ascii_case("npn") {
+                    return Err(err(format!("unknown bjt model '{}'", toks[4])));
+                }
+                let d = if pnp {
+                    Device::pnp(toks[0], b, c, e, BjtParams::default())
+                } else {
+                    Device::npn(toks[0], b, c, e, BjtParams::default())
+                };
+                devices.push(d);
+            }
+            _ => unreachable!("filtered above"),
+        }
+    }
+    let mut out = NonlinearCircuit::new(linear);
+    for d in devices {
+        out.add(d);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mixed_netlist() {
+        let text = "\
+* diode clamp plus bjt stage
+VCC vcc 0 5
+VIN in 0 0.8
+RS in b 1k
+RC vcc c 2k
+RE e 0 470
+Q1 c b e
+D1 b 0
+.end";
+        let ckt = parse_spice_nonlinear(text).unwrap();
+        assert_eq!(ckt.devices().len(), 2);
+        assert_eq!(ckt.linear().num_elements(), 5);
+        // The whole thing biases.
+        let op = ckt.dc_operating_point().unwrap();
+        let vb = op.voltage(ckt.linear().find_node("b").unwrap());
+        assert!(vb > 0.4 && vb < 0.9, "base at {vb}");
+    }
+
+    #[test]
+    fn pnp_tag_and_errors() {
+        let ok = parse_spice_nonlinear("VCC 1 0 5\nR1 1 2 1k\nQ2 0 2 1 PNP\n").unwrap();
+        assert!(matches!(ok.devices()[0], Device::Pnp { .. }));
+        assert!(parse_spice_nonlinear("D1 1\n").is_err());
+        assert!(parse_spice_nonlinear("Q1 1 2\n").is_err());
+        let e = parse_spice_nonlinear("Q1 1 2 0 FET\n").unwrap_err();
+        assert!(e.to_string().contains("unknown bjt model"));
+    }
+
+    #[test]
+    fn line_numbers_survive_extraction() {
+        let e = parse_spice_nonlinear("R1 1 0 1k\nQbad 1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+}

@@ -1,0 +1,219 @@
+//! Symbol bindings: which circuit elements a symbol stands for, and how it
+//! enters the equations.
+
+use awesym_circuit::{Circuit, ElementId, ElementKind};
+
+/// How a symbol enters the MNA matrices.
+///
+/// Following the paper, resistive symbols may be carried either in
+/// admittance form (conductance, stamped directly into `Ŷ_0`) or in
+/// impedance form (resistance, through an auxiliary branch equation, like
+/// inductors) — both keep every matrix entry *linear* in the symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum SymbolRole {
+    /// Symbol is the conductance `g = 1/R` of resistor elements.
+    Conductance,
+    /// Symbol is the resistance `R` of resistor elements (auxiliary branch).
+    Resistance,
+    /// Symbol is the capacitance of capacitor elements.
+    Capacitance,
+    /// Symbol is the inductance of inductor elements.
+    Inductance,
+    /// Symbol is the transconductance of VCCS elements.
+    Transconductance,
+}
+
+/// Binds a named symbol to one or more circuit elements (all of the same
+/// kind, all sharing the symbol's value — e.g. the two matched drivers of
+/// the coupled-line example both bound to `rdrv`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymbolBinding {
+    /// Symbol name.
+    pub name: String,
+    /// How the symbol enters the equations.
+    pub role: SymbolRole,
+    /// The bound elements.
+    pub elements: Vec<ElementId>,
+}
+
+impl SymbolBinding {
+    /// Conductance symbol over resistor elements.
+    pub fn conductance(name: &str, elements: Vec<ElementId>) -> Self {
+        SymbolBinding {
+            name: name.into(),
+            role: SymbolRole::Conductance,
+            elements,
+        }
+    }
+
+    /// Resistance symbol over resistor elements.
+    pub fn resistance(name: &str, elements: Vec<ElementId>) -> Self {
+        SymbolBinding {
+            name: name.into(),
+            role: SymbolRole::Resistance,
+            elements,
+        }
+    }
+
+    /// Capacitance symbol over capacitor elements.
+    pub fn capacitance(name: &str, elements: Vec<ElementId>) -> Self {
+        SymbolBinding {
+            name: name.into(),
+            role: SymbolRole::Capacitance,
+            elements,
+        }
+    }
+
+    /// Inductance symbol over inductor elements.
+    pub fn inductance(name: &str, elements: Vec<ElementId>) -> Self {
+        SymbolBinding {
+            name: name.into(),
+            role: SymbolRole::Inductance,
+            elements,
+        }
+    }
+
+    /// Transconductance symbol over VCCS elements.
+    pub fn transconductance(name: &str, elements: Vec<ElementId>) -> Self {
+        SymbolBinding {
+            name: name.into(),
+            role: SymbolRole::Transconductance,
+            elements,
+        }
+    }
+
+    /// A binding with the role inferred from the first element's kind
+    /// (resistors default to the [`SymbolRole::Resistance`] impedance
+    /// form).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `elements` is empty or the kind has no symbolic role.
+    pub fn auto(circuit: &Circuit, name: &str, elements: Vec<ElementId>) -> Self {
+        let kind = circuit
+            .element(*elements.first().expect("empty binding"))
+            .kind;
+        let role = match kind {
+            ElementKind::Resistor => SymbolRole::Resistance,
+            ElementKind::Capacitor => SymbolRole::Capacitance,
+            ElementKind::Inductor => SymbolRole::Inductance,
+            ElementKind::Vccs => SymbolRole::Transconductance,
+            other => panic!("element kind {other:?} cannot be a symbol"),
+        };
+        SymbolBinding {
+            name: name.into(),
+            role,
+            elements,
+        }
+    }
+
+    /// The expected element kind for this binding's role.
+    pub fn expected_kind(&self) -> ElementKind {
+        match self.role {
+            SymbolRole::Conductance | SymbolRole::Resistance => ElementKind::Resistor,
+            SymbolRole::Capacitance => ElementKind::Capacitor,
+            SymbolRole::Inductance => ElementKind::Inductor,
+            SymbolRole::Transconductance => ElementKind::Vccs,
+        }
+    }
+
+    /// Nominal symbol value derived from the first bound element's stored
+    /// value (inverted for conductance roles).
+    pub fn nominal(&self, circuit: &Circuit) -> f64 {
+        let v = circuit.element(self.elements[0]).value;
+        match self.role {
+            SymbolRole::Conductance => 1.0 / v,
+            _ => v,
+        }
+    }
+}
+
+/// Returns a copy of the circuit with the symbol values written back into
+/// the bound elements (conductance roles invert into resistances). This is
+/// how reference analyses and validation sweeps materialize a point of the
+/// symbol space.
+///
+/// # Panics
+///
+/// Panics when `vals.len() != bindings.len()`.
+pub fn apply_symbol_values(circuit: &Circuit, bindings: &[SymbolBinding], vals: &[f64]) -> Circuit {
+    assert_eq!(vals.len(), bindings.len(), "one value per symbol");
+    let mut out = circuit.clone();
+    for (b, &v) in bindings.iter().zip(vals.iter()) {
+        let stored = match b.role {
+            SymbolRole::Conductance => 1.0 / v,
+            _ => v,
+        };
+        for &eid in &b.elements {
+            out.set_value(eid, stored);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awesym_circuit::{Circuit, Element};
+
+    fn sample() -> (Circuit, ElementId, ElementId) {
+        let mut c = Circuit::new();
+        let n1 = c.node("1");
+        let r = c.add(Element::resistor("R1", n1, Circuit::GROUND, 50.0));
+        let cap = c.add(Element::capacitor("C1", n1, Circuit::GROUND, 1e-12));
+        (c, r, cap)
+    }
+
+    #[test]
+    fn constructors_and_roles() {
+        let (_, r, cap) = sample();
+        assert_eq!(
+            SymbolBinding::conductance("g", vec![r]).expected_kind(),
+            ElementKind::Resistor
+        );
+        assert_eq!(
+            SymbolBinding::resistance("r", vec![r]).expected_kind(),
+            ElementKind::Resistor
+        );
+        assert_eq!(
+            SymbolBinding::capacitance("c", vec![cap]).expected_kind(),
+            ElementKind::Capacitor
+        );
+    }
+
+    #[test]
+    fn auto_binding_infers_role() {
+        let (c, r, cap) = sample();
+        assert_eq!(
+            SymbolBinding::auto(&c, "r1", vec![r]).role,
+            SymbolRole::Resistance
+        );
+        assert_eq!(
+            SymbolBinding::auto(&c, "c1", vec![cap]).role,
+            SymbolRole::Capacitance
+        );
+    }
+
+    #[test]
+    fn nominal_inverts_for_conductance() {
+        let (c, r, _) = sample();
+        assert_eq!(SymbolBinding::resistance("r", vec![r]).nominal(&c), 50.0);
+        assert_eq!(SymbolBinding::conductance("g", vec![r]).nominal(&c), 0.02);
+    }
+
+    #[test]
+    fn apply_symbol_values_round_trips_nominal() {
+        let (c, r, cap) = sample();
+        let bindings = [
+            SymbolBinding::conductance("g", vec![r]),
+            SymbolBinding::capacitance("c", vec![cap]),
+        ];
+        let nominal: Vec<f64> = bindings.iter().map(|b| b.nominal(&c)).collect();
+        let c2 = apply_symbol_values(&c, &bindings, &nominal);
+        assert_eq!(c2.element(r).value, 50.0);
+        assert_eq!(c2.element(cap).value, 1e-12);
+        let c3 = apply_symbol_values(&c, &bindings, &[0.1, 2e-12]);
+        assert_eq!(c3.element(r).value, 10.0);
+        assert_eq!(c3.element(cap).value, 2e-12);
+    }
+}

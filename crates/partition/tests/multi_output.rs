@@ -1,0 +1,102 @@
+//! Multi-output models: one assembly and one symbolic recursion shared by
+//! several probes.
+
+use awesym_circuit::generators::{coupled_lines, CoupledLineSpec};
+use awesym_mna::Probe;
+use awesym_partition::{CompiledModel, ModelOptions, SymbolBinding};
+
+#[test]
+fn multi_output_equals_separate_builds() {
+    let spec = CoupledLineSpec {
+        segments: 120,
+        ..Default::default()
+    };
+    let lines = coupled_lines(&spec);
+    let c = &lines.circuit;
+    let bindings = [
+        SymbolBinding::resistance("rdrv", lines.rdrv.to_vec()),
+        SymbolBinding::capacitance("cload", lines.cload.to_vec()),
+    ];
+    let probes = [
+        Probe::NodeVoltage(lines.aggressor_out),
+        Probe::NodeVoltage(lines.victim_out),
+    ];
+    let multi =
+        CompiledModel::build_multi(c, lines.input, &probes, &bindings, ModelOptions::order(2))
+            .unwrap();
+    assert_eq!(multi.len(), 2);
+    let sep_a = CompiledModel::build(c, lines.input, lines.aggressor_out, &bindings, 2).unwrap();
+    let sep_v = CompiledModel::build(c, lines.input, lines.victim_out, &bindings, 2).unwrap();
+    for vals in [[100.0, 0.5e-12], [40.0, 2e-12]] {
+        let ma = multi[0].eval_moments(&vals);
+        let mv = multi[1].eval_moments(&vals);
+        let ra = sep_a.eval_moments(&vals);
+        let rv = sep_v.eval_moments(&vals);
+        for k in 0..4 {
+            assert!(
+                (ma[k] - ra[k]).abs() <= 1e-12 * ra[k].abs().max(1e-30),
+                "agg m{k}"
+            );
+            assert!(
+                (mv[k] - rv[k]).abs() <= 1e-12 * rv[k].abs().max(1e-30),
+                "vic m{k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn multi_output_with_taylor_tail() {
+    let spec = CoupledLineSpec {
+        segments: 60,
+        ..Default::default()
+    };
+    let lines = coupled_lines(&spec);
+    let c = &lines.circuit;
+    let bindings = [SymbolBinding::resistance("rdrv", lines.rdrv.to_vec())];
+    let probes = [
+        Probe::NodeVoltage(lines.aggressor_out),
+        Probe::NodeVoltage(lines.victim_out),
+    ];
+    let multi = CompiledModel::build_multi(
+        c,
+        lines.input,
+        &probes,
+        &bindings,
+        ModelOptions {
+            order: 2,
+            symbolic_moments: Some(2),
+        },
+    )
+    .unwrap();
+    // At nominal the Taylor tails are exact per output.
+    let nominal = [spec.rdrv];
+    let full =
+        CompiledModel::build_multi(c, lines.input, &probes, &bindings, ModelOptions::order(2))
+            .unwrap();
+    for (partial, complete) in multi.iter().zip(full.iter()) {
+        let mp = partial.eval_moments(&nominal);
+        let mf = complete.eval_moments(&nominal);
+        for (a, b) in mp.iter().zip(mf.iter()) {
+            assert!((a - b).abs() < 1e-8 * b.abs().max(1e-30), "{a} vs {b}");
+        }
+    }
+}
+
+#[test]
+fn empty_probe_list_rejected() {
+    let spec = CoupledLineSpec {
+        segments: 10,
+        ..Default::default()
+    };
+    let lines = coupled_lines(&spec);
+    let bindings = [SymbolBinding::resistance("rdrv", lines.rdrv.to_vec())];
+    assert!(CompiledModel::build_multi(
+        &lines.circuit,
+        lines.input,
+        &[],
+        &bindings,
+        ModelOptions::order(1)
+    )
+    .is_err());
+}

@@ -1,0 +1,154 @@
+//! End-to-end checks of the two paper workloads: the linearized 741
+//! (§3.1, frequency domain) and the 1000-segment coupled lines (§3.2,
+//! time domain). The load-bearing claim is that the compiled symbolic
+//! model reproduces a full numeric AWE analysis *identically* (to
+//! floating-point accuracy) at any symbol values, at a fraction of the
+//! per-evaluation cost.
+
+use awesym_circuit::generators::{coupled_lines, opamp741, CoupledLineSpec};
+use awesym_partition::{CompiledModel, SymbolBinding};
+
+#[test]
+fn opamp_compiled_model_matches_full_awe() {
+    let amp = opamp741();
+    let c = &amp.circuit;
+    let bindings = [
+        SymbolBinding::conductance("g_out_q14", vec![amp.ro_q14]),
+        SymbolBinding::capacitance("c_comp", vec![amp.c_comp]),
+    ];
+    let model = CompiledModel::build(c, amp.input, amp.output, &bindings, 2).expect("build");
+    assert_eq!(model.symbols().len(), 2);
+
+    let g_nom = 1.0 / c.element(amp.ro_q14).value;
+    let c_nom = c.element(amp.c_comp).value;
+    // Sweep both symbols over a 10:1 range around nominal.
+    for gs in [0.3, 1.0, 3.0] {
+        for cs in [0.3, 1.0, 3.0] {
+            let vals = [g_nom * gs, c_nom * cs];
+            let m_sym = model.eval_moments(&vals);
+            // Full AWE with the values substituted into the circuit.
+            let mut c2 = c.clone();
+            c2.set_value(amp.ro_q14, 1.0 / vals[0]);
+            c2.set_value(amp.c_comp, vals[1]);
+            let awe = awesym_awe::AweAnalysis::new(&c2, amp.input, amp.output).unwrap();
+            let m_ref = awe.moments(4).unwrap().m;
+            for (k, (a, b)) in m_sym.iter().zip(m_ref.iter()).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-6 * b.abs(),
+                    "gs={gs} cs={cs} m{k}: {a} vs {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn opamp_symbolic_forms_behave_physically() {
+    let amp = opamp741();
+    let c = &amp.circuit;
+    let bindings = [
+        SymbolBinding::conductance("g_out_q14", vec![amp.ro_q14]),
+        SymbolBinding::capacitance("c_comp", vec![amp.c_comp]),
+    ];
+    let model = CompiledModel::build(c, amp.input, amp.output, &bindings, 2).expect("build");
+    let g_nom = 1.0 / c.element(amp.ro_q14).value;
+    let c_nom = c.element(amp.c_comp).value;
+
+    // Miller compensation: dominant pole frequency ∝ 1/Ccomp.
+    let p_small = model.dominant_pole(&[g_nom, 0.5 * c_nom]).unwrap().abs();
+    let p_large = model.dominant_pole(&[g_nom, 2.0 * c_nom]).unwrap().abs();
+    assert!(
+        p_small > 2.0 * p_large,
+        "dominant pole must move ~1/Ccomp: {p_small} vs {p_large}"
+    );
+    // Stability over the whole sweep (the paper notes the symbolic form is
+    // stable for all values of the two symbols).
+    for gs in [0.2, 1.0, 5.0] {
+        for cs in [0.2, 1.0, 5.0] {
+            let rom = model.rom(&[g_nom * gs, c_nom * cs]).unwrap();
+            assert!(rom.is_stable(), "unstable at gs={gs}, cs={cs}");
+        }
+    }
+}
+
+#[test]
+fn coupled_lines_crosstalk_model() {
+    // Reduced segment count keeps the test quick; the bench harness runs
+    // the full 1000-segment version.
+    let spec = CoupledLineSpec {
+        segments: 200,
+        ..Default::default()
+    };
+    let lines = coupled_lines(&spec);
+    let c = &lines.circuit;
+    let bindings = [
+        SymbolBinding::resistance("rdrv", lines.rdrv.to_vec()),
+        SymbolBinding::capacitance("cload", lines.cload.to_vec()),
+    ];
+    // Cross-talk output on the victim line, second order as in the paper.
+    let model =
+        CompiledModel::build(c, lines.input, lines.victim_out, &bindings, 2).expect("build");
+
+    // Identity with full AWE at scattered symbol values.
+    for (rs, cs) in [(0.5, 1.0), (1.0, 0.25), (2.5, 3.0)] {
+        let vals = [spec.rdrv * rs, spec.cload * cs];
+        let m_sym = model.eval_moments(&vals);
+        let mut c2 = c.clone();
+        for id in lines.rdrv {
+            c2.set_value(id, vals[0]);
+        }
+        for id in lines.cload {
+            c2.set_value(id, vals[1]);
+        }
+        let awe = awesym_awe::AweAnalysis::new(&c2, lines.input, lines.victim_out).unwrap();
+        let m_ref = awe.moments(4).unwrap().m;
+        for (k, (a, b)) in m_sym.iter().zip(m_ref.iter()).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-6 * b.abs().max(1e-30),
+                "rs={rs} cs={cs} m{k}: {a} vs {b}"
+            );
+        }
+    }
+
+    // Cross-talk shape: zero at DC (capacitive coupling only), non-zero
+    // transient peak that grows with the coupling drive (larger Rdrv slows
+    // the aggressor and reduces the peak).
+    let m = model.eval_moments(&[spec.rdrv, spec.cload]);
+    assert!(m[0].abs() < 1e-9, "victim DC level {}", m[0]);
+    let rom = model.rom(&[spec.rdrv, spec.cload]).unwrap();
+    let (_, peak_nom) = rom.step_peak().unwrap();
+    assert!(peak_nom.abs() > 1e-4, "no crosstalk peak: {peak_nom}");
+}
+
+#[test]
+fn coupled_lines_direct_transmission_first_order() {
+    let spec = CoupledLineSpec {
+        segments: 100,
+        ..Default::default()
+    };
+    let lines = coupled_lines(&spec);
+    let c = &lines.circuit;
+    let bindings = [
+        SymbolBinding::resistance("rdrv", lines.rdrv.to_vec()),
+        SymbolBinding::capacitance("cload", lines.cload.to_vec()),
+    ];
+    // First order suffices for direct transmission (paper §3.2).
+    let model =
+        CompiledModel::build(c, lines.input, lines.aggressor_out, &bindings, 1).expect("build");
+    let vals = [spec.rdrv, spec.cload];
+    assert!((model.dc_gain(&vals) - 1.0).abs() < 1e-9);
+    // Elmore-style delay grows with both symbols.
+    let d_nom = model.rom(&vals).unwrap().delay_50().unwrap();
+    let d_big_r = model
+        .rom(&[4.0 * spec.rdrv, spec.cload])
+        .unwrap()
+        .delay_50()
+        .unwrap();
+    let d_big_c = model
+        .rom(&[spec.rdrv, 6.0 * spec.cload])
+        .unwrap()
+        .delay_50()
+        .unwrap();
+    assert!(d_big_r > d_nom, "{d_big_r} vs {d_nom}");
+    assert!(d_big_c > d_nom, "{d_big_c} vs {d_nom}");
+}

@@ -1,0 +1,114 @@
+//! Probe-based analyses: compiled driving-point admittance models and
+//! differential-voltage observations.
+
+use awesym_circuit::{Circuit, Element};
+use awesym_mna::Probe;
+use awesym_partition::{CompiledModel, ModelOptions, SymbolBinding};
+
+/// Series RC driven by a V source: the source current is
+/// `I(s) = V·sC/(1 + sRC)`, so the driving-point admittance moments are
+/// `m0 = 0, m1 = C, m2 = −RC², …` (note the source current convention:
+/// MNA's branch current flows out of the + terminal, giving a −1 factor).
+#[test]
+fn driving_point_admittance_model() {
+    let mut c = Circuit::new();
+    let n1 = c.node("1");
+    let n2 = c.node("2");
+    let v = c.add(Element::vsource("V1", n1, Circuit::GROUND, 1.0));
+    let r_id = c.add(Element::resistor("R1", n1, n2, 1e3));
+    c.add(Element::capacitor("C1", n2, Circuit::GROUND, 1e-9));
+    let _ = r_id;
+    let model = CompiledModel::build_probe(
+        &c,
+        v,
+        &Probe::BranchCurrent("V1".into()),
+        &[SymbolBinding::capacitance(
+            "c1",
+            vec![c.find("C1").unwrap()],
+        )],
+        ModelOptions::order(2),
+    )
+    .unwrap();
+    for cap in [0.5e-9, 1e-9, 4e-9] {
+        let m = model.eval_moments(&[cap]);
+        // Y(s) = sC/(1+sRC) ⇒ series −sC + s²RC² − …; branch current sign
+        // is negative of the delivered current.
+        assert!(m[0].abs() < 1e-15, "m0 {}", m[0]);
+        assert!(
+            (m[1].abs() - cap).abs() < 1e-12 * cap,
+            "m1 {} for C={cap}",
+            m[1]
+        );
+        let rc2 = 1e3 * cap * cap;
+        assert!((m[2].abs() - rc2).abs() < 1e-9 * rc2, "m2 {}", m[2]);
+    }
+}
+
+/// Differential probe across a floating element equals the difference of
+/// two node-voltage models.
+#[test]
+fn differential_probe_consistency() {
+    let w = awesym_circuit::generators::rc_ladder(8, 100.0, 1e-12);
+    let c = &w.circuit;
+    let n3 = c.find_node("n3").unwrap();
+    let n5 = c.find_node("n5").unwrap();
+    let bind = [SymbolBinding::resistance("r1", vec![c.find("R1").unwrap()])];
+    let diff = CompiledModel::build_probe(
+        c,
+        w.input,
+        &Probe::DifferentialVoltage(n3, n5),
+        &bind,
+        ModelOptions::order(2),
+    )
+    .unwrap();
+    let va = CompiledModel::build_probe(
+        c,
+        w.input,
+        &Probe::NodeVoltage(n3),
+        &bind,
+        ModelOptions::order(2),
+    )
+    .unwrap();
+    let vb = CompiledModel::build_probe(
+        c,
+        w.input,
+        &Probe::NodeVoltage(n5),
+        &bind,
+        ModelOptions::order(2),
+    )
+    .unwrap();
+    for r in [50.0, 100.0, 400.0] {
+        let md = diff.eval_moments(&[r]);
+        let ma = va.eval_moments(&[r]);
+        let mb = vb.eval_moments(&[r]);
+        for k in 0..4 {
+            let expect = ma[k] - mb[k];
+            // The difference cancels (e.g. both DC gains are exactly 1), so
+            // tolerate rounding noise at the scale of the operands.
+            let scale = ma[k].abs().max(mb[k].abs()).max(1e-30);
+            assert!(
+                (md[k] - expect).abs() < 1e-9 * scale,
+                "r={r} m{k}: {} vs {expect}",
+                md[k]
+            );
+        }
+    }
+}
+
+/// Probing a branchless element is rejected cleanly.
+#[test]
+fn branch_probe_requires_explicit_current() {
+    let w = awesym_circuit::generators::fig1_rc(1e-3, 1e-3, 1e-9, 1e-9);
+    let c = &w.circuit;
+    let err = CompiledModel::build_probe(
+        c,
+        w.input,
+        &Probe::BranchCurrent("R1".into()),
+        &[SymbolBinding::capacitance(
+            "c1",
+            vec![c.find("C1").unwrap()],
+        )],
+        ModelOptions::order(1),
+    );
+    assert!(err.is_err());
+}

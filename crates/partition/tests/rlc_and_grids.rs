@@ -1,0 +1,165 @@
+//! The new interconnect topologies (RLC line, RC mesh, H-tree) through the
+//! full AWEsymbolic stack: inductor branch symbols, complex pole pairs,
+//! and mesh/tree port extraction.
+
+use awesym_circuit::generators::{h_tree, rc_mesh, rlc_line};
+use awesym_partition::{CompiledModel, SymbolBinding};
+
+#[test]
+fn rlc_line_has_ringing_and_matches_reference() {
+    // Underdamped line: R small relative to sqrt(L/C).
+    let w = rlc_line(20, 5.0, 10e-9, 2e-12, 25.0, 0.2e-12);
+    let c = &w.circuit;
+    let rdrv = c.find("rdrv").unwrap();
+    let cload = c.find("cload").unwrap();
+    let model = CompiledModel::build(
+        c,
+        w.input,
+        w.output,
+        &[
+            SymbolBinding::resistance("rdrv", vec![rdrv]),
+            SymbolBinding::capacitance("cload", vec![cload]),
+        ],
+        3,
+    )
+    .unwrap();
+    // Identity with full AWE across the symbol plane.
+    for (rs, cs) in [(1.0, 1.0), (0.4, 2.0), (3.0, 0.5)] {
+        let vals = [25.0 * rs, 0.2e-12 * cs];
+        let m_sym = model.eval_moments(&vals);
+        let mut c2 = c.clone();
+        c2.set_value(rdrv, vals[0]);
+        c2.set_value(cload, vals[1]);
+        let m_ref = awesym_awe::AweAnalysis::new(&c2, w.input, w.output)
+            .unwrap()
+            .moments(6)
+            .unwrap()
+            .m;
+        for (k, (a, b)) in m_sym.iter().zip(m_ref.iter()).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-6 * b.abs().max(1e-30),
+                "rs={rs} cs={cs} m{k}: {a} vs {b}"
+            );
+        }
+    }
+    // Complex poles appear (ringing) when lightly damped.
+    let rom = model.rom(&[25.0, 0.2e-12]).unwrap();
+    assert!(rom.is_stable());
+    assert!(
+        rom.poles().iter().any(|p| p.im.abs() > 0.1 * p.re.abs()),
+        "expected complex poles, got {:?}",
+        rom.poles()
+    );
+    // Step response overshoots its final value.
+    let tau = 1.0 / rom.dominant_pole().unwrap().re.abs();
+    let peak = (0..400)
+        .map(|i| rom.step_response(10.0 * tau * i as f64 / 400.0))
+        .fold(f64::MIN, f64::max);
+    assert!(
+        peak > 1.02 * rom.dc_gain(),
+        "peak {peak} vs dc {}",
+        rom.dc_gain()
+    );
+}
+
+#[test]
+fn symbolic_inductance_binding() {
+    // Bind the total-line inductance segments to one symbol and verify the
+    // compiled model tracks a full re-analysis as L changes.
+    let w = rlc_line(3, 2.0, 5e-9, 1e-12, 20.0, 0.1e-12);
+    let c = &w.circuit;
+    let l_ids: Vec<_> = (1..=3)
+        .map(|i| c.find(&format!("tl{i}")).unwrap())
+        .collect();
+    let l_nom = c.element(l_ids[0]).value;
+    let model = CompiledModel::build(
+        c,
+        w.input,
+        w.output,
+        &[SymbolBinding::inductance("lseg", l_ids.clone())],
+        2,
+    )
+    .unwrap();
+    for scale in [0.5, 1.0, 2.0] {
+        let l = l_nom * scale;
+        let m_sym = model.eval_moments(&[l]);
+        let mut c2 = c.clone();
+        for &id in &l_ids {
+            c2.set_value(id, l);
+        }
+        let m_ref = awesym_awe::AweAnalysis::new(&c2, w.input, w.output)
+            .unwrap()
+            .moments(4)
+            .unwrap()
+            .m;
+        for (k, (a, b)) in m_sym.iter().zip(m_ref.iter()).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-8 * b.abs().max(1e-30),
+                "scale={scale} m{k}: {a} vs {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn delay_metric_family_tracks_symbols() {
+    // Compiled delay metrics respond to the driver-resistance symbol the
+    // way a timer expects: every metric grows monotonically with Rdrv.
+    let mesh = rc_mesh(4, 4, 20.0, 0.5e-12);
+    let rdrv = mesh.circuit.find("rdrv").unwrap();
+    let model = CompiledModel::build(
+        &mesh.circuit,
+        mesh.input,
+        mesh.output,
+        &[SymbolBinding::resistance("rdrv", vec![rdrv])],
+        2,
+    )
+    .unwrap();
+    let mut prev: Option<awesym_awe::DelayEstimates> = None;
+    for r in [10.0, 50.0, 250.0] {
+        let d = model.delay_estimates(&[r]).unwrap();
+        assert!(d.elmore > 0.0 && d.d2m > 0.0);
+        // From E[t²] ≥ E[t]² (so m₂ ≥ m₁²/2): D2M ≤ √2·ln2·Elmore.
+        let bound = std::f64::consts::SQRT_2 * std::f64::consts::LN_2 * d.elmore;
+        assert!(d.d2m <= bound + 1e-18, "d2m {} vs bound {bound}", d.d2m);
+        if let Some(p) = prev {
+            assert!(d.elmore > p.elmore);
+            assert!(d.d2m > p.d2m);
+            assert!(d.two_pole.unwrap() > p.two_pole.unwrap());
+        }
+        prev = Some(d);
+    }
+}
+
+#[test]
+fn mesh_and_tree_compile() {
+    let mesh = rc_mesh(5, 5, 10.0, 0.2e-12);
+    let rdrv = mesh.circuit.find("rdrv").unwrap();
+    let model = CompiledModel::build(
+        &mesh.circuit,
+        mesh.input,
+        mesh.output,
+        &[SymbolBinding::resistance("rdrv", vec![rdrv])],
+        2,
+    )
+    .unwrap();
+    assert!((model.dc_gain(&[10.0]) - 1.0).abs() < 1e-9);
+    // Elmore delay grows with the driver resistance.
+    let d1 = model.rom(&[5.0]).unwrap().delay_50().unwrap();
+    let d2 = model.rom(&[500.0]).unwrap().delay_50().unwrap();
+    assert!(d2 > d1);
+
+    let tree = h_tree(4, 50.0, 1e-12, 20e-15);
+    let sink = tree.circuit.find("sink0").unwrap();
+    let model = CompiledModel::build(
+        &tree.circuit,
+        tree.input,
+        tree.output,
+        &[SymbolBinding::capacitance("csink", vec![sink])],
+        2,
+    )
+    .unwrap();
+    let d_small = model.rom(&[5e-15]).unwrap().delay_50().unwrap();
+    let d_big = model.rom(&[200e-15]).unwrap().delay_50().unwrap();
+    assert!(d_big > d_small);
+}

@@ -1,0 +1,539 @@
+//! Hash-consed expression DAG and the compiled evaluation tape.
+//!
+//! This is the "compilation" in *AWEsymbolic: Compiled Analysis…*: symbolic
+//! moments (polynomials and quotients in the symbols) are lowered once into
+//! a flat register program; each subsequent evaluation at concrete symbol
+//! values replays the tape — a handful of multiply-adds instead of a full
+//! circuit analysis.
+
+use crate::MPoly;
+use std::collections::HashMap;
+
+/// Handle to a node of an [`ExprGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExprId(u32);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Node {
+    Const(f64),
+    Sym(u32),
+    Add(ExprId, ExprId),
+    Mul(ExprId, ExprId),
+    Div(ExprId, ExprId),
+    Neg(ExprId),
+    Sqrt(ExprId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    Const(u64),
+    Sym(u32),
+    Add(u32, u32),
+    Mul(u32, u32),
+    Div(u32, u32),
+    Neg(u32),
+    Sqrt(u32),
+}
+
+/// A hash-consed expression DAG with constant folding.
+///
+/// Structurally identical subexpressions share one node (common-
+/// subexpression elimination by construction), so compiling several
+/// symbolic moments that share the determinant `D` and its powers costs
+/// each shared piece once.
+///
+/// # Example
+///
+/// ```
+/// use awesym_symbolic::ExprGraph;
+///
+/// let mut g = ExprGraph::new(2);
+/// let x = g.sym(0);
+/// let y = g.sym(1);
+/// let xy = g.mul(x, y);
+/// let e = g.add(xy, xy); // shares the xy node
+/// let f = g.compile(&[e]);
+/// assert_eq!(f.eval(&[3.0, 4.0])[0], 24.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ExprGraph {
+    nodes: Vec<Node>,
+    cache: HashMap<Key, ExprId>,
+    n_syms: usize,
+}
+
+impl ExprGraph {
+    /// Creates a graph over `n_syms` symbols.
+    pub fn new(n_syms: usize) -> Self {
+        ExprGraph {
+            nodes: Vec::new(),
+            cache: HashMap::new(),
+            n_syms,
+        }
+    }
+
+    /// Number of nodes currently in the graph.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn intern(&mut self, key: Key, node: Node) -> ExprId {
+        if let Some(&id) = self.cache.get(&key) {
+            return id;
+        }
+        let id = ExprId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.cache.insert(key, id);
+        id
+    }
+
+    /// A constant node.
+    pub fn constant(&mut self, c: f64) -> ExprId {
+        self.intern(Key::Const(c.to_bits()), Node::Const(c))
+    }
+
+    /// A symbol node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn sym(&mut self, i: u32) -> ExprId {
+        assert!((i as usize) < self.n_syms, "symbol index out of range");
+        self.intern(Key::Sym(i), Node::Sym(i))
+    }
+
+    fn const_of(&self, id: ExprId) -> Option<f64> {
+        match self.nodes[id.0 as usize] {
+            Node::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Sum with folding (`0 + x = x`, const + const folds).
+    pub fn add(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(x), Some(y)) => return self.constant(x + y),
+            (Some(0.0), None) => return b,
+            (None, Some(0.0)) => return a,
+            _ => {}
+        }
+        // Canonical operand order for better sharing.
+        let (a, b) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        self.intern(Key::Add(a.0, b.0), Node::Add(a, b))
+    }
+
+    /// Difference (`a + (−b)`).
+    pub fn sub(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        let nb = self.neg(b);
+        self.add(a, nb)
+    }
+
+    /// Product with folding (`0·x = 0`, `1·x = x`, const·const folds).
+    pub fn mul(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(x), Some(y)) => return self.constant(x * y),
+            (Some(0.0), None) | (None, Some(0.0)) => return self.constant(0.0),
+            (Some(1.0), None) => return b,
+            (None, Some(1.0)) => return a,
+            _ => {}
+        }
+        let (a, b) = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        self.intern(Key::Mul(a.0, b.0), Node::Mul(a, b))
+    }
+
+    /// Quotient with folding.
+    pub fn div(&mut self, a: ExprId, b: ExprId) -> ExprId {
+        match (self.const_of(a), self.const_of(b)) {
+            (Some(x), Some(y)) => return self.constant(x / y),
+            (None, Some(1.0)) => return a,
+            _ => {}
+        }
+        self.intern(Key::Div(a.0, b.0), Node::Div(a, b))
+    }
+
+    /// Negation with folding (`−(−x) = x`).
+    pub fn neg(&mut self, a: ExprId) -> ExprId {
+        if let Some(c) = self.const_of(a) {
+            return self.constant(-c);
+        }
+        if let Node::Neg(inner) = self.nodes[a.0 as usize] {
+            return inner;
+        }
+        self.intern(Key::Neg(a.0), Node::Neg(a))
+    }
+
+    /// Square root.
+    pub fn sqrt(&mut self, a: ExprId) -> ExprId {
+        if let Some(c) = self.const_of(a) {
+            if c >= 0.0 {
+                return self.constant(c.sqrt());
+            }
+        }
+        self.intern(Key::Sqrt(a.0), Node::Sqrt(a))
+    }
+
+    /// Integer power by binary decomposition (shares squarings).
+    pub fn powi(&mut self, a: ExprId, mut n: u32) -> ExprId {
+        if n == 0 {
+            return self.constant(1.0);
+        }
+        let mut base = a;
+        let mut acc: Option<ExprId> = None;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc = Some(match acc {
+                    None => base,
+                    Some(x) => self.mul(x, base),
+                });
+            }
+            n >>= 1;
+            if n > 0 {
+                base = self.mul(base, base);
+            }
+        }
+        acc.expect("n > 0")
+    }
+
+    /// Lowers a polynomial into the graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the polynomial ranges over a different symbol count.
+    pub fn poly(&mut self, p: &MPoly) -> ExprId {
+        assert_eq!(p.nvars(), self.n_syms, "nvars mismatch");
+        let mut acc = self.constant(0.0);
+        for (exps, coeff) in p.terms() {
+            let mut term = self.constant(coeff);
+            for (i, &e) in exps.iter().enumerate() {
+                if e > 0 {
+                    let s = self.sym(i as u32);
+                    let pw = self.powi(s, e as u32);
+                    term = self.mul(term, pw);
+                }
+            }
+            acc = self.add(acc, term);
+        }
+        acc
+    }
+
+    /// Direct recursive evaluation (reference implementation for tests;
+    /// prefer [`ExprGraph::compile`] + [`CompiledFn::eval`] in hot paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vals.len()` differs from the graph's symbol count.
+    pub fn eval(&self, id: ExprId, vals: &[f64]) -> f64 {
+        assert_eq!(vals.len(), self.n_syms, "value vector length mismatch");
+        let mut memo = vec![f64::NAN; self.nodes.len()];
+        self.eval_rec(id, vals, &mut memo)
+    }
+
+    fn eval_rec(&self, id: ExprId, vals: &[f64], memo: &mut [f64]) -> f64 {
+        let i = id.0 as usize;
+        if !memo[i].is_nan() {
+            return memo[i];
+        }
+        let v = match self.nodes[i] {
+            Node::Const(c) => c,
+            Node::Sym(s) => vals[s as usize],
+            Node::Add(a, b) => self.eval_rec(a, vals, memo) + self.eval_rec(b, vals, memo),
+            Node::Mul(a, b) => self.eval_rec(a, vals, memo) * self.eval_rec(b, vals, memo),
+            Node::Div(a, b) => self.eval_rec(a, vals, memo) / self.eval_rec(b, vals, memo),
+            Node::Neg(a) => -self.eval_rec(a, vals, memo),
+            Node::Sqrt(a) => self.eval_rec(a, vals, memo).sqrt(),
+        };
+        memo[i] = v;
+        v
+    }
+
+    /// Compiles the subgraph reachable from `outputs` into a flat tape.
+    pub fn compile(&self, outputs: &[ExprId]) -> CompiledFn {
+        // Mark reachable nodes.
+        let mut needed = vec![false; self.nodes.len()];
+        let mut stack: Vec<ExprId> = outputs.to_vec();
+        while let Some(id) = stack.pop() {
+            let i = id.0 as usize;
+            if needed[i] {
+                continue;
+            }
+            needed[i] = true;
+            match self.nodes[i] {
+                Node::Add(a, b) | Node::Mul(a, b) | Node::Div(a, b) => {
+                    stack.push(a);
+                    stack.push(b);
+                }
+                Node::Neg(a) | Node::Sqrt(a) => stack.push(a),
+                _ => {}
+            }
+        }
+        // Emit in index order (children always have smaller indices than
+        // parents because nodes are appended after their operands).
+        let mut reg_of = vec![u32::MAX; self.nodes.len()];
+        let mut ops = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if !needed[i] {
+                continue;
+            }
+            let reg = ops.len() as u32;
+            reg_of[i] = reg;
+            let op = match *node {
+                Node::Const(c) => TapeOp::Const(c),
+                Node::Sym(s) => TapeOp::Sym(s),
+                Node::Add(a, b) => TapeOp::Add(reg_of[a.0 as usize], reg_of[b.0 as usize]),
+                Node::Mul(a, b) => TapeOp::Mul(reg_of[a.0 as usize], reg_of[b.0 as usize]),
+                Node::Div(a, b) => TapeOp::Div(reg_of[a.0 as usize], reg_of[b.0 as usize]),
+                Node::Neg(a) => TapeOp::Neg(reg_of[a.0 as usize]),
+                Node::Sqrt(a) => TapeOp::Sqrt(reg_of[a.0 as usize]),
+            };
+            ops.push(op);
+        }
+        let outs = outputs.iter().map(|o| reg_of[o.0 as usize]).collect();
+        CompiledFn {
+            tape: Tape { ops },
+            outputs: outs,
+            n_syms: self.n_syms,
+        }
+    }
+}
+
+/// One instruction of a compiled tape; operands are register indices.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum TapeOp {
+    /// Load a constant.
+    Const(f64),
+    /// Load symbol `i` from the input slice.
+    Sym(u32),
+    /// `r[a] + r[b]`.
+    Add(u32, u32),
+    /// `r[a] · r[b]`.
+    Mul(u32, u32),
+    /// `r[a] / r[b]`.
+    Div(u32, u32),
+    /// `−r[a]`.
+    Neg(u32),
+    /// `√r[a]`.
+    Sqrt(u32),
+}
+
+/// A flat register program.
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Tape {
+    ops: Vec<TapeOp>,
+}
+
+impl Tape {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// A compiled multi-output function of the symbols.
+///
+/// Produced by [`ExprGraph::compile`]; serializable with serde so compiled
+/// models can be stored and reloaded.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CompiledFn {
+    tape: Tape,
+    outputs: Vec<u32>,
+    n_syms: usize,
+}
+
+impl CompiledFn {
+    /// Number of input symbols.
+    pub fn n_syms(&self) -> usize {
+        self.n_syms
+    }
+
+    /// Number of outputs.
+    pub fn n_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Number of tape instructions (the paper's "reduced set of
+    /// operations").
+    pub fn op_count(&self) -> usize {
+        self.tape.len()
+    }
+
+    /// Evaluates the tape, allocating the result vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vals.len() != self.n_syms()`.
+    pub fn eval(&self, vals: &[f64]) -> Vec<f64> {
+        let mut regs = vec![0.0; self.tape.len()];
+        let mut out = vec![0.0; self.outputs.len()];
+        self.eval_into(vals, &mut regs, &mut out);
+        out
+    }
+
+    /// Evaluates into caller-provided scratch space (zero allocation —
+    /// this is the per-iteration fast path the paper times).
+    ///
+    /// # Panics
+    ///
+    /// Panics when slice lengths do not match the compiled shapes.
+    pub fn eval_into(&self, vals: &[f64], regs: &mut [f64], out: &mut [f64]) {
+        assert_eq!(vals.len(), self.n_syms, "value vector length mismatch");
+        assert!(regs.len() >= self.tape.len(), "scratch too small");
+        assert_eq!(out.len(), self.outputs.len(), "output slice mismatch");
+        for (i, op) in self.tape.ops.iter().enumerate() {
+            regs[i] = match *op {
+                TapeOp::Const(c) => c,
+                TapeOp::Sym(s) => vals[s as usize],
+                TapeOp::Add(a, b) => regs[a as usize] + regs[b as usize],
+                TapeOp::Mul(a, b) => regs[a as usize] * regs[b as usize],
+                TapeOp::Div(a, b) => regs[a as usize] / regs[b as usize],
+                TapeOp::Neg(a) => -regs[a as usize],
+                TapeOp::Sqrt(a) => regs[a as usize].sqrt(),
+            };
+        }
+        for (o, &r) in out.iter_mut().zip(self.outputs.iter()) {
+            *o = regs[r as usize];
+        }
+    }
+
+    /// Required scratch length for [`CompiledFn::eval_into`].
+    pub fn scratch_len(&self) -> usize {
+        self.tape.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SymbolSet;
+
+    #[test]
+    fn folding_rules() {
+        let mut g = ExprGraph::new(1);
+        let x = g.sym(0);
+        let zero = g.constant(0.0);
+        let one = g.constant(1.0);
+        assert_eq!(g.add(zero, x), x);
+        assert_eq!(g.add(x, zero), x);
+        assert_eq!(g.mul(one, x), x);
+        assert_eq!(g.mul(x, zero), zero);
+        let two = g.constant(2.0);
+        let three = g.constant(3.0);
+        let six = g.mul(two, three);
+        assert_eq!(g.eval(six, &[0.0]), 6.0);
+        let nx = g.neg(x);
+        assert_eq!(g.neg(nx), x);
+        let half = g.div(one, two);
+        assert_eq!(g.eval(half, &[0.0]), 0.5);
+    }
+
+    #[test]
+    fn hash_consing_shares_nodes() {
+        let mut g = ExprGraph::new(2);
+        let x = g.sym(0);
+        let y = g.sym(1);
+        let a = g.mul(x, y);
+        let b = g.mul(y, x); // canonical order → same node
+        assert_eq!(a, b);
+        let before = g.node_count();
+        let _c = g.mul(x, y);
+        assert_eq!(g.node_count(), before);
+    }
+
+    #[test]
+    fn poly_lowering_matches_eval() {
+        let mut s = SymbolSet::new();
+        let x = s.intern("x");
+        let y = s.intern("y");
+        let p = MPoly::var(&s, x)
+            .pow(3)
+            .scale(2.0)
+            .add(&MPoly::var(&s, y).mul(&MPoly::var(&s, x)))
+            .sub(&MPoly::constant(2, 7.0));
+        let mut g = ExprGraph::new(2);
+        let id = g.poly(&p);
+        for point in [[1.0, 2.0], [-0.5, 3.0], [2.2, -1.1]] {
+            assert!((g.eval(id, &point) - p.eval(&point)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn compile_matches_graph_eval() {
+        let mut g = ExprGraph::new(2);
+        let x = g.sym(0);
+        let y = g.sym(1);
+        let xy = g.mul(x, y);
+        let s = g.add(xy, x);
+        let q = g.div(s, y);
+        let r = g.sqrt(q);
+        let f = g.compile(&[s, q, r]);
+        assert_eq!(f.n_outputs(), 3);
+        let vals = [2.0, 8.0];
+        let out = f.eval(&vals);
+        assert_eq!(out[0], 18.0);
+        assert_eq!(out[1], 2.25);
+        assert_eq!(out[2], 1.5);
+        assert_eq!(out[0], g.eval(s, &vals));
+    }
+
+    #[test]
+    fn compile_prunes_unreachable_nodes() {
+        let mut g = ExprGraph::new(1);
+        let x = g.sym(0);
+        let _unused = g.mul(x, x);
+        let used = g.add(x, x);
+        let f = g.compile(&[used]);
+        // Only Sym + Add should remain.
+        assert_eq!(f.op_count(), 2);
+    }
+
+    #[test]
+    fn powi_shares_squarings() {
+        let mut g = ExprGraph::new(1);
+        let x = g.sym(0);
+        let p8 = g.powi(x, 8);
+        // x² , x⁴ , x⁸ → 3 muls + sym.
+        let f = g.compile(&[p8]);
+        assert_eq!(f.op_count(), 4);
+        assert_eq!(f.eval(&[2.0])[0], 256.0);
+        let p1 = g.powi(x, 1);
+        assert_eq!(p1, x);
+        let p0 = g.powi(x, 0);
+        assert_eq!(g.eval(p0, &[5.0]), 1.0);
+    }
+
+    #[test]
+    fn eval_into_zero_alloc_path() {
+        let mut g = ExprGraph::new(1);
+        let x = g.sym(0);
+        let e = g.mul(x, x);
+        let f = g.compile(&[e]);
+        let mut regs = vec![0.0; f.scratch_len()];
+        let mut out = vec![0.0; 1];
+        f.eval_into(&[3.0], &mut regs, &mut out);
+        assert_eq!(out[0], 9.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut g = ExprGraph::new(2);
+        let x = g.sym(0);
+        let y = g.sym(1);
+        let e = g.div(x, y);
+        let f = g.compile(&[e]);
+        let json = serde_json::to_string(&f).unwrap();
+        let back: CompiledFn = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.eval(&[6.0, 3.0])[0], 2.0);
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    #[should_panic(expected = "symbol index out of range")]
+    fn sym_out_of_range_panics() {
+        let mut g = ExprGraph::new(1);
+        let _ = g.sym(1);
+    }
+}

@@ -1,0 +1,344 @@
+//! Symbolic matrices with division-free determinants, adjugates and
+//! Cramer-style solves.
+//!
+//! The global partitioned matrix `Y_g0` in AWEsymbolic is small (its size
+//! scales with the number of symbolic elements), so a subset-dynamic-
+//! programming Laplace expansion — `O(n·2ⁿ)` polynomial multiplies per
+//! determinant, no polynomial division — is both fast enough and
+//! numerically safe with floating coefficients (fraction-free elimination
+//! would require exact polynomial division, which floating round-off
+//! breaks).
+
+use crate::MPoly;
+
+/// A dense matrix of multivariate polynomials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SMat {
+    n: usize,
+    m: usize,
+    data: Vec<MPoly>,
+    nvars: usize,
+}
+
+impl SMat {
+    /// Creates an `n × m` zero matrix over `nvars` symbols.
+    pub fn zeros(n: usize, m: usize, nvars: usize) -> Self {
+        SMat {
+            n,
+            m,
+            data: vec![MPoly::zero(nvars); n * m],
+            nvars,
+        }
+    }
+
+    /// Rows.
+    pub fn rows(&self) -> usize {
+        self.n
+    }
+
+    /// Columns.
+    pub fn cols(&self) -> usize {
+        self.m
+    }
+
+    /// Number of symbols entries range over.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Entry accessor.
+    pub fn get(&self, i: usize, j: usize) -> &MPoly {
+        &self.data[i * self.m + j]
+    }
+
+    /// Replaces an entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the polynomial ranges over a different symbol count.
+    pub fn set(&mut self, i: usize, j: usize, p: MPoly) {
+        assert_eq!(p.nvars(), self.nvars, "nvars mismatch");
+        self.data[i * self.m + j] = p;
+    }
+
+    /// Adds `p` into an entry (stamping).
+    pub fn add_to(&mut self, i: usize, j: usize, p: &MPoly) {
+        let cur = self.get(i, j).add(p);
+        self.data[i * self.m + j] = cur;
+    }
+
+    /// Matrix-vector product with a polynomial vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[MPoly]) -> Vec<MPoly> {
+        assert_eq!(x.len(), self.m, "dimension mismatch");
+        (0..self.n)
+            .map(|i| {
+                let mut acc = MPoly::zero(self.nvars);
+                for j in 0..self.m {
+                    let e = self.get(i, j);
+                    if !e.is_zero() && !x[j].is_zero() {
+                        acc = acc.add(&e.mul(&x[j]));
+                    }
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Evaluates every entry at a point, producing a dense numeric matrix
+    /// in row-major order.
+    pub fn eval(&self, vals: &[f64]) -> Vec<Vec<f64>> {
+        (0..self.n)
+            .map(|i| (0..self.m).map(|j| self.get(i, j).eval(vals)).collect())
+            .collect()
+    }
+
+    /// Determinant by subset-DP Laplace expansion (division-free).
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-square matrices or `n > 16` (the algorithm is
+    /// exponential by design; partitioned matrices are far smaller).
+    pub fn det(&self) -> MPoly {
+        assert_eq!(self.n, self.m, "determinant of non-square matrix");
+        assert!(self.n <= 16, "matrix too large for symbolic determinant");
+        let n = self.n;
+        if n == 0 {
+            return MPoly::one(self.nvars);
+        }
+        // D[S] = det of the submatrix formed by the first popcount(S) rows
+        // and the column set S.
+        let full = 1usize << n;
+        let mut d: Vec<Option<MPoly>> = vec![None; full];
+        d[0] = Some(MPoly::one(self.nvars));
+        for s in 1..full {
+            let r = (s as u32).count_ones() as usize - 1; // row index
+            let mut acc = MPoly::zero(self.nvars);
+            // Laplace expansion along row r: cofactor sign is
+            // (−1)^{r + position-of-j-within-S}.
+            let mut sign = if r % 2 == 0 { 1.0 } else { -1.0 };
+            for j in 0..n {
+                if s & (1 << j) == 0 {
+                    continue;
+                }
+                let a = self.get(r, j);
+                if !a.is_zero() {
+                    let sub = d[s & !(1 << j)].as_ref().expect("dp order");
+                    if !sub.is_zero() {
+                        acc = acc.add(&a.mul(sub).scale(sign));
+                    }
+                }
+                // The cofactor sign alternates with the column's *position
+                // inside S*, so flip only for members of S.
+                sign = -sign;
+            }
+            d[s] = Some(acc);
+        }
+        d[full - 1].take().expect("dp complete")
+    }
+
+    /// Adjugate matrix: `adj(A)·A = A·adj(A) = det(A)·I`.
+    ///
+    /// Computed as cofactors, each via the division-free determinant.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-square matrices or `n > 12`.
+    pub fn adjugate(&self) -> SMat {
+        assert_eq!(self.n, self.m, "adjugate of non-square matrix");
+        assert!(self.n <= 12, "matrix too large for symbolic adjugate");
+        let n = self.n;
+        let mut out = SMat::zeros(n, n, self.nvars);
+        if n == 0 {
+            return out;
+        }
+        if n == 1 {
+            out.set(0, 0, MPoly::one(self.nvars));
+            return out;
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let minor = self.minor(i, j);
+                let c = minor.det();
+                let sign = if (i + j) % 2 == 0 { 1.0 } else { -1.0 };
+                // adj = transpose of cofactor matrix.
+                out.set(j, i, c.scale(sign));
+            }
+        }
+        out
+    }
+
+    /// Solves `A·x·det(A)⁻¹`, i.e. returns `(adj(A)·b, det(A))` so that the
+    /// solution of `A x = b` is `x_i = num_i / det`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-square matrices or wrong `b` length.
+    pub fn cramer_solve(&self, b: &[MPoly]) -> (Vec<MPoly>, MPoly) {
+        assert_eq!(self.n, self.m, "cramer solve needs a square matrix");
+        assert_eq!(b.len(), self.n, "rhs length mismatch");
+        let adj = self.adjugate();
+        (adj.mul_vec(b), self.det())
+    }
+
+    fn minor(&self, skip_row: usize, skip_col: usize) -> SMat {
+        let n = self.n;
+        let mut out = SMat::zeros(n - 1, n - 1, self.nvars);
+        let mut r = 0;
+        for i in 0..n {
+            if i == skip_row {
+                continue;
+            }
+            let mut c = 0;
+            for j in 0..n {
+                if j == skip_col {
+                    continue;
+                }
+                out.set(r, c, self.get(i, j).clone());
+                c += 1;
+            }
+            r += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SymbolSet;
+
+    fn sym_xy() -> (SymbolSet, MPoly, MPoly) {
+        let mut s = SymbolSet::new();
+        let x = s.intern("x");
+        let y = s.intern("y");
+        let px = MPoly::var(&s, x);
+        let py = MPoly::var(&s, y);
+        (s, px, py)
+    }
+
+    #[test]
+    fn det_2x2_symbolic() {
+        let (_, x, y) = sym_xy();
+        let mut a = SMat::zeros(2, 2, 2);
+        a.set(0, 0, x.clone());
+        a.set(0, 1, MPoly::one(2));
+        a.set(1, 0, MPoly::constant(2, 2.0));
+        a.set(1, 1, y.clone());
+        // det = xy − 2
+        let d = a.det();
+        assert_eq!(d, x.mul(&y).sub(&MPoly::constant(2, 2.0)));
+    }
+
+    #[test]
+    fn det_matches_numeric_eval() {
+        let (_, x, y) = sym_xy();
+        let mut a = SMat::zeros(3, 3, 2);
+        let entries = [
+            [x.clone(), MPoly::one(2), MPoly::zero(2)],
+            [y.clone(), x.add(&y), MPoly::constant(2, 2.0)],
+            [MPoly::one(2), MPoly::zero(2), y.clone()],
+        ];
+        for (i, row) in entries.iter().enumerate() {
+            for (j, e) in row.iter().enumerate() {
+                a.set(i, j, e.clone());
+            }
+        }
+        let d = a.det();
+        for point in [[1.0, 2.0], [0.5, -3.0], [-2.0, 0.25]] {
+            let num = a.eval(&point);
+            // Numeric 3x3 determinant.
+            let nd = num[0][0] * (num[1][1] * num[2][2] - num[1][2] * num[2][1])
+                - num[0][1] * (num[1][0] * num[2][2] - num[1][2] * num[2][0])
+                + num[0][2] * (num[1][0] * num[2][1] - num[1][1] * num[2][0]);
+            assert!((d.eval(&point) - nd).abs() < 1e-10, "{point:?}");
+        }
+    }
+
+    #[test]
+    fn adjugate_identity() {
+        let (_, x, y) = sym_xy();
+        let mut a = SMat::zeros(3, 3, 2);
+        a.set(0, 0, x.add(&MPoly::one(2)));
+        a.set(0, 1, y.clone());
+        a.set(1, 0, MPoly::constant(2, 2.0));
+        a.set(1, 1, x.mul(&y).add(&MPoly::constant(2, 3.0)));
+        a.set(1, 2, MPoly::one(2));
+        a.set(2, 2, y.add(&MPoly::constant(2, 2.0)));
+        let adj = a.adjugate();
+        let det = a.det();
+        // A·adj(A) = det·I, checked entrywise symbolically.
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut acc = MPoly::zero(2);
+                for k in 0..3 {
+                    acc = acc.add(&a.get(i, k).mul(adj.get(k, j)));
+                }
+                let expect = if i == j { det.clone() } else { MPoly::zero(2) };
+                // Compare at sample points (coefficients may differ by
+                // floating round-off in the last ulp).
+                for point in [[1.0, 2.0], [-0.5, 3.0]] {
+                    assert!(
+                        (acc.eval(&point) - expect.eval(&point)).abs()
+                            < 1e-9 * (1.0 + expect.eval(&point).abs()),
+                        "({i},{j}) at {point:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cramer_solves_symbolic_system() {
+        let (_, x, _) = sym_xy();
+        // [x 1; 1 2]·v = [1, 0] → v = (2, −1)/(2x − 1)
+        let mut a = SMat::zeros(2, 2, 2);
+        a.set(0, 0, x.clone());
+        a.set(0, 1, MPoly::one(2));
+        a.set(1, 0, MPoly::one(2));
+        a.set(1, 1, MPoly::constant(2, 2.0));
+        let b = vec![MPoly::one(2), MPoly::zero(2)];
+        let (num, det) = a.cramer_solve(&b);
+        for xv in [1.0, 3.0, -0.7] {
+            let p = [xv, 0.0];
+            let d = det.eval(&p);
+            let v0 = num[0].eval(&p) / d;
+            let v1 = num[1].eval(&p) / d;
+            assert!((xv * v0 + v1 - 1.0).abs() < 1e-12);
+            assert!((v0 + 2.0 * v1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn det_multilinear_in_rank_one_stamp() {
+        // A conductance symbol stamps as a rank-1 update: det must be
+        // degree ≤ 1 in it — the multilinearity property the paper cites.
+        let (s, g, _) = sym_xy();
+        let mut a = SMat::zeros(3, 3, 2);
+        for i in 0..3 {
+            a.set(i, i, MPoly::constant(2, 2.0));
+        }
+        // Stamp g between nodes 0 and 1.
+        a.add_to(0, 0, &g);
+        a.add_to(1, 1, &g);
+        a.add_to(0, 1, &g.neg());
+        a.add_to(1, 0, &g.neg());
+        let d = a.det();
+        assert_eq!(d.degree_in(crate::Sym(0)), 1);
+        let _ = s;
+    }
+
+    #[test]
+    fn empty_and_identity_edges() {
+        let a = SMat::zeros(0, 0, 1);
+        assert!(a.det().is_constant());
+        assert_eq!(a.det().constant_term(), 1.0);
+        let mut i1 = SMat::zeros(1, 1, 1);
+        i1.set(0, 0, MPoly::constant(1, 5.0));
+        assert_eq!(i1.det().constant_term(), 5.0);
+        assert_eq!(i1.adjugate().get(0, 0).constant_term(), 1.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Interned symbol names.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Handle to an interned symbol (index into its [`SymbolSet`]).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct Sym(pub u32);
+
+/// An ordered set of symbol names. Polynomials and compiled tapes refer to
+/// symbols by index, and evaluation takes a value slice in the same order.
+///
+/// # Example
+///
+/// ```
+/// use awesym_symbolic::SymbolSet;
+///
+/// let mut s = SymbolSet::new();
+/// let a = s.intern("g_out_q14");
+/// let b = s.intern("c_comp");
+/// assert_eq!(s.intern("g_out_q14"), a); // stable
+/// assert_eq!(s.name(b), "c_comp");
+/// assert_eq!(s.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SymbolSet {
+    names: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, Sym>,
+}
+
+impl SymbolSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        SymbolSet::default()
+    }
+
+    /// Interns a name, returning the existing handle when already present.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&s) = self.index.get(name) {
+            return s;
+        }
+        let s = Sym(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), s);
+        s
+    }
+
+    /// Looks up a name without interning.
+    pub fn find(&self, name: &str) -> Option<Sym> {
+        // The index map may be empty after deserialization; fall back to a
+        // linear scan in that case.
+        if let Some(&s) = self.index.get(name) {
+            return Some(s);
+        }
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| Sym(i as u32))
+    }
+
+    /// Name of a symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the handle does not belong to this set.
+    pub fn name(&self, s: Sym) -> &str {
+        &self.names[s.0 as usize]
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no symbols have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over the names in index order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.names.iter().map(String::as_str)
+    }
+}
+
+impl fmt::Display for SymbolSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]", self.names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut s = SymbolSet::new();
+        let a = s.intern("x");
+        let b = s.intern("y");
+        assert_eq!(s.intern("x"), a);
+        assert_ne!(a, b);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.find("y"), Some(b));
+        assert_eq!(s.find("z"), None);
+    }
+
+    #[test]
+    fn display_lists_names() {
+        let mut s = SymbolSet::new();
+        s.intern("a");
+        s.intern("b");
+        assert_eq!(s.to_string(), "[a, b]");
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_lookup() {
+        let mut s = SymbolSet::new();
+        s.intern("g1");
+        s.intern("c1");
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SymbolSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.name(Sym(1)), "c1");
+        assert_eq!(back.find("g1"), Some(Sym(0)));
+    }
+}

@@ -1,0 +1,83 @@
+//! The full "linear(ized)" pipeline: a *nonlinear* transistor amplifier is
+//! biased with the Newton solver, linearized at its operating point, and
+//! then compiled into an AWEsymbolic model — the same flow the paper
+//! applies to the 741.
+//!
+//! Run with: `cargo run --release --example nonlinear_linearize`
+
+use awesymbolic::prelude::*;
+use awesymbolic::{BjtParams, Device, NonlinearCircuit};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A two-stage NPN amplifier with Miller compensation, at transistor
+    // level with real exponential devices.
+    let mut lin = Circuit::new();
+    let vin = lin.node("vin");
+    let vcc = lin.node("vcc");
+    let b1 = lin.node("b1");
+    let c1 = lin.node("c1");
+    let e1 = lin.node("e1");
+    let c2 = lin.node("c2");
+    let e2 = lin.node("e2");
+    lin.add(Element::vsource("VIN", vin, Circuit::GROUND, 0.9));
+    lin.add(Element::vsource("VCC", vcc, Circuit::GROUND, 10.0));
+    lin.add(Element::resistor("RS", vin, b1, 1e3));
+    lin.add(Element::resistor("RC1", vcc, c1, 15e3));
+    lin.add(Element::resistor("RE1", e1, Circuit::GROUND, 250.0));
+    lin.add(Element::resistor("RC2", vcc, c2, 2e3));
+    lin.add(Element::resistor("RE2", e2, Circuit::GROUND, 1e3));
+    // Miller capacitor across the second stage.
+    lin.add(Element::capacitor("CMILLER", c1, c2, 10e-12));
+    lin.add(Element::capacitor("CL", c2, Circuit::GROUND, 20e-12));
+
+    let mut ckt = NonlinearCircuit::new(lin);
+    ckt.add(Device::npn("Q1", b1, c1, e1, BjtParams::default()));
+    ckt.add(Device::npn("Q2", c1, c2, e2, BjtParams::default()));
+
+    println!("== Newton DC operating point ==");
+    let op = ckt.dc_operating_point()?;
+    println!("converged in {} iterations", op.iterations());
+    for q in ["Q1", "Q2"] {
+        if let Some(awesymbolic::DeviceBias::Bjt { ic, vbe, gm, .. }) = op.device_bias(q) {
+            println!("  {q}: IC = {ic:.3e} A, VBE = {vbe:.3} V, gm = {gm:.3e} S");
+        }
+    }
+    println!(
+        "  v(c1) = {:.3} V, v(c2) = {:.3} V",
+        op.voltage(c1),
+        op.voltage(c2)
+    );
+
+    println!("\n== Linearize and compile a symbolic model ==");
+    let small = ckt.linearize(&op);
+    println!(
+        "small-signal circuit: {} elements ({} storage)",
+        small.num_elements(),
+        small.num_storage_elements()
+    );
+    let input = small.find("VIN").expect("input source");
+    let output = small.find_node("c2").expect("output node");
+    let cm = small.find("CMILLER").expect("miller cap");
+    let model = SymbolicAwe::new(&small, input, output)
+        .order(2)
+        .symbol(SymbolBinding::capacitance("c_miller", vec![cm]))
+        .compile()?;
+
+    println!("symbols: {}", model.symbols());
+    println!(
+        "{:>12} {:>12} {:>14} {:>14}",
+        "Cmiller (F)", "gain (dB)", "p1 (Hz)", "fu (Hz)"
+    );
+    for scale in [0.25, 1.0, 4.0] {
+        let vals = [10e-12 * scale];
+        let rom = model.rom(&vals)?;
+        println!(
+            "{:>12.2e} {:>12.2} {:>14.4e} {:>14.4e}",
+            vals[0],
+            20.0 * rom.dc_gain().abs().log10(),
+            rom.dominant_pole().map_or(0.0, |p| p.abs()) / (2.0 * std::f64::consts::PI),
+            rom.unity_gain_omega().unwrap_or(f64::NAN) / (2.0 * std::f64::consts::PI),
+        );
+    }
+    Ok(())
+}

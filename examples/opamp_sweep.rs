@@ -1,0 +1,87 @@
+//! The paper's §3.1 workload: frequency-domain symbolic analysis of the
+//! linearized 741 op-amp with symbols `g_out,Q14` and `Ccomp`.
+//!
+//! Compiles the AWEsymbolic model once, then sweeps both symbols over a
+//! grid and prints the performance surfaces of Figures 4–7 (first pole,
+//! DC gain, unity-gain frequency, phase margin), plus the per-iteration
+//! cost comparison of Table 1.
+//!
+//! Run with: `cargo run --release --example opamp_sweep`
+
+use awesymbolic::prelude::*;
+use awesymbolic::PartitionError;
+use std::time::Instant;
+
+fn main() -> Result<(), PartitionError> {
+    let amp = generators::opamp741();
+    let c = &amp.circuit;
+    println!(
+        "741 linearized model: {} elements, {} energy-storage elements",
+        c.num_elements(),
+        c.num_storage_elements()
+    );
+
+    let t0 = Instant::now();
+    let model = SymbolicAwe::new(c, amp.input, amp.output)
+        .order(2)
+        .symbol_named("g_out_q14", "ro_q14", SymbolRole::Conductance)?
+        .symbol_named("c_comp", "c_comp", SymbolRole::Capacitance)?
+        .compile()?;
+    let t_compile = t0.elapsed();
+    println!(
+        "compiled in {:.1} ms ({} tape ops)\n",
+        t_compile.as_secs_f64() * 1e3,
+        model.op_count()
+    );
+
+    let g_nom = model.nominal()[0];
+    let c_nom = model.nominal()[1];
+
+    println!(
+        "{:>12} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "g_out (S)", "Ccomp (F)", "p1 (Hz)", "A0 (dB)", "fu (Hz)", "PM (deg)"
+    );
+    for gs in [0.25, 1.0, 4.0] {
+        for cs in [0.25, 1.0, 4.0] {
+            let vals = [g_nom * gs, c_nom * cs];
+            let rom = model.rom(&vals)?;
+            let p1 = rom.dominant_pole().map_or(0.0, |p| p.abs()) / (2.0 * std::f64::consts::PI);
+            let a0 = 20.0 * rom.dc_gain().abs().log10();
+            let fu = rom
+                .unity_gain_omega()
+                .map_or(0.0, |w| w / (2.0 * std::f64::consts::PI));
+            let pm = rom.phase_margin_deg().unwrap_or(f64::NAN);
+            println!(
+                "{:>12.3e} {:>12.3e} {:>12.3e} {:>12.2} {:>12.3e} {:>10.1}",
+                vals[0], vals[1], p1, a0, fu, pm
+            );
+        }
+    }
+
+    // Per-iteration cost: compiled evaluation vs full AWE re-analysis.
+    println!("\nPer-iteration cost (paper reports ~330x on a DECstation):");
+    let n = 200;
+    let mut scratch = vec![0.0; model.scratch_len()];
+    let mut out = vec![0.0; 2 * model.order()];
+    let t0 = Instant::now();
+    for i in 0..n {
+        let f = 0.5 + (i as f64) / n as f64;
+        model.eval_moments_into(&[g_nom * f, c_nom * f], &mut scratch, &mut out);
+    }
+    let t_sym = t0.elapsed().as_secs_f64() / n as f64;
+    let t0 = Instant::now();
+    let full_n = 20;
+    for i in 0..full_n {
+        let f = 0.5 + (i as f64) / full_n as f64;
+        let mut c2 = c.clone();
+        c2.set_value(amp.ro_q14, 1.0 / (g_nom * f));
+        c2.set_value(amp.c_comp, c_nom * f);
+        let awe = AweAnalysis::new(&c2, amp.input, amp.output).map_err(PartitionError::from)?;
+        let _ = awe.moments(4).map_err(PartitionError::from)?;
+    }
+    let t_awe = t0.elapsed().as_secs_f64() / full_n as f64;
+    println!("  AWEsymbolic eval : {:>10.3} µs / iteration", t_sym * 1e6);
+    println!("  full AWE         : {:>10.3} µs / iteration", t_awe * 1e6);
+    println!("  speedup          : {:>10.0}x", t_awe / t_sym);
+    Ok(())
+}
