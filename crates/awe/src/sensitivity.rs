@@ -78,7 +78,7 @@ impl<'a> SensitivityAnalysis<'a> {
         let (dg, dc) = self.engine.mna().stamp_derivative(e)?;
         let n = self.moments.m.len();
         let mut out = vec![0.0; n];
-        for k in 0..n {
+        for (k, slot) in out.iter_mut().enumerate() {
             let mut s = 0.0;
             for j in 0..=k {
                 for &(r, c, v) in &dg {
@@ -90,7 +90,7 @@ impl<'a> SensitivityAnalysis<'a> {
                     s -= self.adjoints[j][r] * v * self.moments.x[k - 1 - j][c];
                 }
             }
-            out[k] = s;
+            *slot = s;
         }
         Ok(out)
     }

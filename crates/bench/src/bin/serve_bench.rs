@@ -1,0 +1,192 @@
+//! Serving-runtime benchmark: single-point evaluation vs. `evaluate_batch`
+//! throughput at 1/2/4/8 workers on the Table 1 workloads.
+//!
+//! ```text
+//! cargo run --release -p awesym-bench --bin serve_bench
+//! cargo run --release -p awesym-bench --bin serve_bench -- --points 5000 --reps 7
+//! ```
+//!
+//! Emits `results/BENCH_serve.json` plus a console table. Absolute numbers
+//! belong to this host; the reproduction target is the *scaling shape*
+//! (batch amortization and worker speedup over the serial path).
+
+use awesym_bench::{lines_workload, opamp_workload, time_median};
+use awesym_serve::{evaluate_batch, BatchOutput};
+use awesymbolic::CompiledModel;
+use std::fmt::Write as _;
+use std::path::Path;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Case {
+    name: String,
+    model: CompiledModel,
+    points: Vec<Vec<f64>>,
+}
+
+/// Deterministic evaluation grid: each point scales every nominal symbol
+/// value by a factor swept over [0.5, 2.0], staggered per symbol so the
+/// points are not collinear.
+fn make_points(model: &CompiledModel, n: usize) -> Vec<Vec<f64>> {
+    let nominal = model.nominal().to_vec();
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / (n - 1).max(1) as f64;
+            nominal
+                .iter()
+                .enumerate()
+                .map(|(s, &v)| {
+                    let phase = (t + s as f64 * 0.37).fract();
+                    v * (0.5 + 1.5 * phase)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+struct CaseResult {
+    name: String,
+    symbols: usize,
+    order: usize,
+    op_count: usize,
+    single_secs: f64,
+    batch: Vec<(usize, f64)>,
+}
+
+fn run_case(case: &Case, reps: usize) -> CaseResult {
+    let n = case.points.len();
+    // Serial baseline: one `eval_moments` call per point, fresh allocation
+    // each time — the cost a naive client pays without the batch engine.
+    let single_secs = time_median(reps, || {
+        for p in &case.points {
+            std::hint::black_box(case.model.eval_moments(p));
+        }
+    });
+    let batch = WORKER_COUNTS
+        .iter()
+        .map(|&w| {
+            let secs = time_median(reps, || {
+                let out = evaluate_batch(&case.model, &case.points, &BatchOutput::Moments, Some(w));
+                assert!(out.iter().all(Result::is_ok), "batch eval failed");
+                std::hint::black_box(out);
+            });
+            (w, secs)
+        })
+        .collect();
+    println!(
+        "{}: {n} points, serial {:.1} ms",
+        case.name,
+        single_secs * 1e3
+    );
+    CaseResult {
+        name: case.name.clone(),
+        symbols: case.model.symbols().len(),
+        order: case.model.order(),
+        op_count: case.model.op_count(),
+        single_secs,
+        batch,
+    }
+}
+
+fn json_report(points: usize, reps: usize, results: &[CaseResult]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"serve\",");
+    let _ = writeln!(s, "  \"points\": {points},");
+    let _ = writeln!(s, "  \"reps\": {reps},");
+    s.push_str("  \"cases\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let pps = points as f64 / r.single_secs;
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"name\": \"{}\",", r.name);
+        let _ = writeln!(s, "      \"symbols\": {},", r.symbols);
+        let _ = writeln!(s, "      \"order\": {},", r.order);
+        let _ = writeln!(s, "      \"op_count\": {},", r.op_count);
+        let _ = writeln!(s, "      \"single_point_secs\": {:e},", r.single_secs);
+        let _ = writeln!(s, "      \"single_points_per_sec\": {pps:e},");
+        s.push_str("      \"batch\": [\n");
+        for (j, &(w, secs)) in r.batch.iter().enumerate() {
+            let comma = if j + 1 < r.batch.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "        {{\"workers\": {w}, \"secs\": {secs:e}, \"points_per_sec\": {:e}, \"speedup_vs_serial\": {:e}}}{comma}",
+                points as f64 / secs,
+                r.single_secs / secs,
+            );
+        }
+        s.push_str("      ]\n");
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut points = 2000usize;
+    let mut reps = 5usize;
+    let mut segments = 200usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let val = |it: &mut std::slice::Iter<String>, flag: &str| {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{flag} needs a positive integer"))
+        };
+        match a.as_str() {
+            "--points" => points = val(&mut it, "--points"),
+            "--reps" => reps = val(&mut it, "--reps"),
+            "--segments" => segments = val(&mut it, "--segments"),
+            other => panic!("unknown argument '{other}'"),
+        }
+    }
+
+    println!("compiling workloads…");
+    let opamp = opamp_workload(2).expect("op-amp workload");
+    let lines = lines_workload(segments).expect("lines workload");
+    let cases = [
+        Case {
+            name: "opamp741_order2".into(),
+            points: make_points(&opamp.model, points),
+            model: opamp.model,
+        },
+        Case {
+            name: format!("coupled_lines_{segments}seg_direct"),
+            points: make_points(&lines.direct, points),
+            model: lines.direct,
+        },
+        Case {
+            name: format!("coupled_lines_{segments}seg_crosstalk"),
+            points: make_points(&lines.crosstalk, points),
+            model: lines.crosstalk,
+        },
+    ];
+
+    let results: Vec<CaseResult> = cases.iter().map(|c| run_case(c, reps)).collect();
+
+    println!(
+        "\n{:<34} {:>8} {:>12} {:>10}",
+        "case", "workers", "points/s", "speedup"
+    );
+    for r in &results {
+        let serial_pps = points as f64 / r.single_secs;
+        println!(
+            "{:<34} {:>8} {serial_pps:>12.0} {:>10}",
+            r.name, "serial", "1.00x"
+        );
+        for &(w, secs) in &r.batch {
+            println!(
+                "{:<34} {w:>8} {:>12.0} {:>9.2}x",
+                "",
+                points as f64 / secs,
+                r.single_secs / secs
+            );
+        }
+    }
+
+    let out = Path::new("results").join("BENCH_serve.json");
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(&out, json_report(points, reps, &results)).expect("write report");
+    println!("\nwrote {}", out.display());
+}

@@ -155,14 +155,14 @@ pub fn lint(circuit: &Circuit) -> Vec<LintIssue> {
     }
 
     let ground_root = find(&mut parent, 0);
-    for k in 1..n {
+    for (k, &deg) in degree.iter().enumerate().take(n).skip(1) {
         let node = Node(k);
         if find(&mut parent, k) != ground_root {
             issues.push(LintIssue::FloatingNode {
                 node,
                 name: circuit.node_name(node).to_string(),
             });
-        } else if degree[k] == 1 {
+        } else if deg == 1 {
             issues.push(LintIssue::DanglingNode {
                 node,
                 name: circuit.node_name(node).to_string(),

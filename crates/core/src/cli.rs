@@ -7,7 +7,6 @@
 
 use crate::{
     parse_spice, AweAnalysis, Circuit, CompiledModel, ElementId, ElementKind, Node, SymbolBinding,
-    SymbolRole,
 };
 use std::fmt::Write as _;
 
@@ -28,6 +27,7 @@ pub fn run(args: &[&str]) -> Result<String, String> {
         "sweep" => cmd_sweep(&rest),
         "model" => cmd_model(&rest),
         "eval" => cmd_eval(&rest),
+        "serve" => cmd_serve(&rest),
         "op" => cmd_op(&rest),
         "linearize" => cmd_linearize(&rest),
         "ac" => cmd_ac(&rest),
@@ -47,8 +47,12 @@ USAGE:
   awesym sweep <netlist> --input <src> --output <node> --symbol <elem>[:role]...
                [--order q] [--points n] [--span f]
   awesym model <netlist> --input <src> --output <node> --symbol <elem>[:role]...
-               [--order q] [--out file.json]
-  awesym eval  --model file.json --values v1,v2,...
+               [--order q] [--out file.json | --out file.awesym]
+               (.awesym writes the versioned, checksummed artifact format)
+  awesym eval  --model file.{json,awesym} --values v1,v2,...
+  awesym serve [--capacity n]   newline-delimited-JSON request loop on
+               stdin/stdout: load, compile, save, eval, batch, stats,
+               shutdown (see docs/serving.md)
   awesym op        <netlist>     DC operating point (supports D/Q cards)
   awesym linearize <netlist> [--out small.sp]
                                  bias + emit the small-signal netlist
@@ -78,6 +82,7 @@ struct Opts {
     fstop: f64,
     tstop: Option<f64>,
     dt: Option<f64>,
+    capacity: usize,
 }
 
 fn parse_opts(args: &[&str]) -> Result<Opts, String> {
@@ -96,6 +101,7 @@ fn parse_opts(args: &[&str]) -> Result<Opts, String> {
         fstop: 1e9,
         tstop: None,
         dt: None,
+        capacity: awesym_serve::DEFAULT_CAPACITY,
     };
     let mut it = args.iter().copied().peekable();
     while let Some(a) = it.next() {
@@ -150,6 +156,11 @@ fn parse_opts(args: &[&str]) -> Result<Opts, String> {
                         .map_err(|e| format!("bad --dt: {e}"))?,
                 )
             }
+            "--capacity" => {
+                o.capacity = grab("--capacity")?
+                    .parse()
+                    .map_err(|e| format!("bad --capacity: {e}"))?
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             path => {
                 if o.netlist.is_some() {
@@ -188,39 +199,9 @@ fn resolve_symbols(c: &Circuit, o: &Opts) -> Result<Vec<SymbolBinding>, String> 
     if o.symbols.is_empty() {
         return Err("at least one --symbol is required".into());
     }
-    o.symbols
-        .iter()
-        .map(|spec| {
-            let (name, role_txt) = match spec.split_once(':') {
-                Some((n, r)) => (n, Some(r)),
-                None => (spec.as_str(), None),
-            };
-            let id = c
-                .find(name)
-                .ok_or_else(|| format!("no element named {name}"))?;
-            let kind = c.element(id).kind;
-            let role = match role_txt {
-                Some("g") => SymbolRole::Conductance,
-                Some("r") => SymbolRole::Resistance,
-                Some("c") => SymbolRole::Capacitance,
-                Some("l") => SymbolRole::Inductance,
-                Some("gm") => SymbolRole::Transconductance,
-                Some(other) => return Err(format!("unknown role '{other}'")),
-                None => match kind {
-                    ElementKind::Resistor => SymbolRole::Resistance,
-                    ElementKind::Capacitor => SymbolRole::Capacitance,
-                    ElementKind::Inductor => SymbolRole::Inductance,
-                    ElementKind::Vccs => SymbolRole::Transconductance,
-                    other => return Err(format!("element {name} ({other:?}) cannot be a symbol")),
-                },
-            };
-            Ok(SymbolBinding {
-                name: name.to_string(),
-                role,
-                elements: vec![id],
-            })
-        })
-        .collect()
+    // The `ELEM[:role]` grammar is shared with the server's `compile`
+    // command; awesym-serve owns the one implementation.
+    awesym_serve::resolve::resolve_symbol_specs(c, &o.symbols)
 }
 
 fn cmd_lint(args: &[&str]) -> Result<String, String> {
@@ -321,7 +302,6 @@ fn cmd_model(args: &[&str]) -> Result<String, String> {
     let bindings = resolve_symbols(&c, &o)?;
     let model =
         CompiledModel::build(&c, input, output, &bindings, o.order).map_err(|e| e.to_string())?;
-    let json = serde_json::to_string(&model).map_err(|e| e.to_string())?;
     let mut out = format!(
         "compiled {} symbols at order {} ({} tape ops)\n",
         model.symbols().len(),
@@ -329,20 +309,34 @@ fn cmd_model(args: &[&str]) -> Result<String, String> {
         model.op_count()
     );
     match &o.out {
+        // A .awesym extension selects the versioned, checksummed artifact
+        // envelope; anything else keeps the raw model-JSON form.
+        Some(path) if path.ends_with(".awesym") => {
+            awesym_serve::save_artifact(&model, path).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "artifact written to {path}");
+        }
         Some(path) => {
+            let json = serde_json::to_string(&model).map_err(|e| e.to_string())?;
             std::fs::write(path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
             let _ = writeln!(out, "model written to {path}");
         }
-        None => out.push_str(&json),
+        None => {
+            let json = serde_json::to_string(&model).map_err(|e| e.to_string())?;
+            out.push_str(&json);
+        }
     }
     Ok(out)
 }
 
 fn cmd_eval(args: &[&str]) -> Result<String, String> {
     let o = parse_opts(args)?;
-    let path = o.model.as_ref().ok_or("missing --model <file.json>")?;
-    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let model: CompiledModel = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    let path = o
+        .model
+        .as_ref()
+        .ok_or("missing --model <file.json|file.awesym>")?;
+    // Accepts both the raw model-JSON dump and the validated .awesym
+    // artifact; either way the compile step is skipped entirely.
+    let model = awesym_serve::load_model_file(path).map_err(|e| e.to_string())?;
     let text = o.values.as_ref().ok_or("missing --values v1,v2,...")?;
     let vals: Vec<f64> = text
         .split(',')
@@ -362,6 +356,13 @@ fn cmd_eval(args: &[&str]) -> Result<String, String> {
     }
     let rom = model.rom(&vals).map_err(|e| e.to_string())?;
     let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "model: {} symbols, order {}, {} tape ops",
+        model.symbols().len(),
+        model.order(),
+        model.op_count()
+    );
     let _ = writeln!(out, "moments: {:?}", model.eval_moments(&vals));
     let _ = writeln!(out, "dc gain: {:.6e}", rom.dc_gain());
     for p in rom.poles() {
@@ -371,6 +372,28 @@ fn cmd_eval(args: &[&str]) -> Result<String, String> {
         let _ = writeln!(out, "50% delay: {d:.6e} s");
     }
     Ok(out)
+}
+
+fn cmd_serve(args: &[&str]) -> Result<String, String> {
+    let o = parse_opts(args)?;
+    if let Some(extra) = &o.netlist {
+        return Err(format!("serve takes no positional argument '{extra}'"));
+    }
+    let server = awesym_serve::Server::new(o.capacity);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    server
+        .serve(stdin.lock(), stdout.lock())
+        .map_err(|e| format!("serve transport error: {e}"))?;
+    let snap = server.registry().stats();
+    // Stdout carries the NDJSON response stream; keep the human-readable
+    // wrap-up off it so programmatic clients reading to EOF never see a
+    // non-JSON line.
+    eprintln!(
+        "serve loop ended: {} hits, {} misses, {} evictions, {} models resident",
+        snap.hits, snap.misses, snap.evictions, snap.resident
+    );
+    Ok(String::new())
 }
 
 fn load_nonlinear(o: &Opts) -> Result<crate::NonlinearCircuit, String> {
@@ -573,6 +596,40 @@ mod tests {
         let out = run(&["eval", "--model", &model_path, "--values", "2e-9,500"]).unwrap();
         assert!(out.contains("dc gain"), "{out}");
         let _ = std::fs::remove_file(&model_path);
+    }
+
+    #[test]
+    fn artifact_model_eval_flow() {
+        let (_d, path) = write_demo_netlist();
+        let art = format!("{path}.model.awesym");
+        let out = run(&[
+            "model", &path, "--input", "vin", "--output", "2", "--symbol", "C1", "--symbol",
+            "R2:r", "--out", &art,
+        ])
+        .unwrap();
+        assert!(out.contains("artifact written"), "{out}");
+        // eval consumes the artifact directly — no recompilation — and
+        // reports the compiled op count.
+        let out = run(&["eval", "--model", &art, "--values", "2e-9,500"]).unwrap();
+        assert!(out.contains("tape ops"), "{out}");
+        assert!(out.contains("dc gain"), "{out}");
+        // A corrupted artifact is rejected with a checksum message.
+        let text = std::fs::read_to_string(&art).unwrap();
+        std::fs::write(&art, text.replace("fnv1a64:", "fnv1a64:f")).unwrap();
+        let e = run(&["eval", "--model", &art, "--values", "2e-9,500"]).unwrap_err();
+        assert!(e.contains("corrupt"), "{e}");
+        let _ = std::fs::remove_file(&art);
+    }
+
+    #[test]
+    fn serve_flag_validation() {
+        assert!(run(&["serve", "--capacity", "x"])
+            .unwrap_err()
+            .contains("bad --capacity"));
+        assert!(run(&["serve", "extra.sp"])
+            .unwrap_err()
+            .contains("no positional"));
+        assert!(run(&["help"]).unwrap().contains("serve"));
     }
 
     #[test]

@@ -45,6 +45,7 @@
 //! | AWE | `awesym-awe` | moments, Padé, ROMs, AWEsensitivity |
 //! | symbolic | `awesym-symbolic` | polynomials, rational forms, tape compiler |
 //! | AWEsymbolic | `awesym-partition` | partitioning, symbolic moments, compiled models |
+//! | serving | `awesym-serve` | `.awesym` artifacts, model registry, concurrent batch evaluation, NDJSON server |
 //!
 //! Everything is re-exported here; see [`prelude`].
 
@@ -65,6 +66,10 @@ pub use awesym_nonlinear::{
 pub use awesym_partition::{
     apply_symbol_values, exact, CompiledModel, ModelOptions, PartitionError, SymbolBinding,
     SymbolRole, SymbolicForms, SymbolicMoments, SymbolicSystem,
+};
+pub use awesym_serve::{
+    evaluate_batch, load_artifact, save_artifact, BatchOutput, ModelRegistry, PointValue,
+    ServeError, Server,
 };
 pub use awesym_symbolic::{CompiledFn, ExprGraph, MPoly, Ratio, SymbolSet};
 

@@ -103,16 +103,16 @@ impl<T: Scalar> LuFactors<T> {
         let mut x: Vec<T> = (0..n).map(|k| b[self.perm[k]]).collect();
         for i in 1..n {
             let mut acc = x[i];
-            for j in 0..i {
-                acc -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().take(i) {
+                acc -= self.lu[(i, j)] * xj;
             }
             x[i] = acc;
         }
         // Back substitution (U x = y).
         for i in (0..n).rev() {
             let mut acc = x[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[(i, j)] * x[j];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.lu[(i, j)] * xj;
             }
             x[i] = acc / self.lu[(i, i)];
         }
@@ -132,15 +132,15 @@ impl<T: Scalar> LuFactors<T> {
         let mut y = b.to_vec();
         for i in 0..n {
             let mut acc = y[i];
-            for j in 0..i {
-                acc -= self.lu[(j, i)] * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                acc -= self.lu[(j, i)] * yj;
             }
             y[i] = acc / self.lu[(i, i)];
         }
         for i in (0..n).rev() {
             let mut acc = y[i];
-            for j in (i + 1)..n {
-                acc -= self.lu[(j, i)] * y[j];
+            for (j, &yj) in y.iter().enumerate().skip(i + 1) {
+                acc -= self.lu[(j, i)] * yj;
             }
             y[i] = acc;
         }

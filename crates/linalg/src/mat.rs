@@ -103,13 +103,12 @@ impl<T: Scalar> DenseMat<T> {
     pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
         assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
         let mut y = vec![T::zero(); self.rows];
-        for i in 0..self.rows {
-            let row = self.row(i);
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = T::zero();
-            for (a, b) in row.iter().zip(x.iter()) {
+            for (a, b) in self.row(i).iter().zip(x.iter()) {
                 acc += *a * *b;
             }
-            y[i] = acc;
+            *yi = acc;
         }
         y
     }

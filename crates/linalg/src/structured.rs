@@ -83,7 +83,7 @@ pub fn solve_vandermonde_complex(
         let mut w = inv; // 1/p^(j+1) with j = 0
         for j in 0..n {
             a[(j, i)] = -w;
-            w = w * inv;
+            w *= inv;
         }
     }
     let rhs: Vec<Complex64> = moments[..n]

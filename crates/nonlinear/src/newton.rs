@@ -258,8 +258,8 @@ impl NonlinearCircuit {
             let mna = Mna::build(&companion)?;
             let x = mna.dc_solve()?;
             let mut new_v = vec![0.0; self.linear.num_nodes()];
-            for k in 1..self.linear.num_nodes() {
-                new_v[k] = mna.voltage(&x, Node(k));
+            for (k, slot) in new_v.iter_mut().enumerate().skip(1) {
+                *slot = mna.voltage(&x, Node(k));
             }
             // Junction limiting.
             self.limit(v, &mut new_v);

@@ -419,16 +419,22 @@ impl SymbolicSystem {
         // ∂m_k/∂σ = −Σ_j Y_jᵀ (∂G/∂σ) X_{k−j} − Σ_j Y_jᵀ (∂C/∂σ) X_{k−1−j}.
         let nsym = self.nominal.len();
         let mut jac = vec![vec![0.0; nsym]; count];
-        for s in 0..nsym {
+        for (s, (g_stamps, c_stamps)) in self
+            .stamps_g_full
+            .iter()
+            .zip(&self.stamps_c_full)
+            .enumerate()
+            .take(nsym)
+        {
             for k in 0..count {
                 let mut acc = 0.0;
                 for j in 0..=k {
-                    for &(r, cidx, v) in &self.stamps_g_full[s] {
+                    for &(r, cidx, v) in g_stamps {
                         acc -= ys[j][r] * v * xs[k - j][cidx];
                     }
                 }
                 for j in 0..k {
-                    for &(r, cidx, v) in &self.stamps_c_full[s] {
+                    for &(r, cidx, v) in c_stamps {
                         acc -= ys[j][r] * v * xs[k - 1 - j][cidx];
                     }
                 }
@@ -624,10 +630,10 @@ fn port_moment_matrices(
     let cii = cii.to_csc();
 
     let mut y = vec![Mat::zeros(np, np); count];
-    for k in 0..count.min(2) {
+    for (k, yk) in y.iter_mut().enumerate().take(count.min(2)) {
         for p in 0..np {
             for q in 0..np {
-                y[k][(p, q)] += if k == 0 { gpp[(p, q)] } else { cpp[(p, q)] };
+                yk[(p, q)] += if k == 0 { gpp[(p, q)] } else { cpp[(p, q)] };
             }
         }
     }

@@ -110,7 +110,7 @@ impl SymbolicMoments {
             // rhs_k = Σ_{j=1..k} −Ŷ_j · N_{k−j} · D^{j−1}
             let mut rhs = vec![MPoly::zero(nsym); np];
             for j in 1..=k {
-                while d_pow.len() <= j - 1 {
+                while d_pow.len() < j {
                     let next = d_pow.last().unwrap().mul(&d);
                     d_pow.push(next);
                 }

@@ -1,0 +1,181 @@
+//! Versioned on-disk persistence for compiled models.
+//!
+//! A `.awesym` artifact is a JSON envelope around the model's own serde
+//! form:
+//!
+//! ```json
+//! {
+//!   "format": "awesym-model",
+//!   "version": 1,
+//!   "checksum": "fnv1a64:0123456789abcdef",
+//!   "payload": "<the CompiledModel JSON, as one string>"
+//! }
+//! ```
+//!
+//! The payload travels as a *string* so the checksum is defined over the
+//! exact bytes that will be re-parsed — no dependence on map ordering or
+//! float re-formatting. Loading validates the format tag, the version,
+//! and the checksum before touching the payload, and returns a typed
+//! [`ServeError`] (never panics) on any mismatch.
+
+use crate::ServeError;
+use awesym_partition::CompiledModel;
+use serde::Content;
+use std::path::Path;
+
+/// Format tag stored in every artifact.
+pub const FORMAT_TAG: &str = "awesym-model";
+
+/// Artifact format version written (and the only one accepted) by this
+/// build.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// 64-bit FNV-1a over the payload bytes.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Checksum string for a payload, e.g. `fnv1a64:a1b2c3d4e5f60789`.
+pub fn checksum(payload: &str) -> String {
+    format!("fnv1a64:{:016x}", fnv1a64(payload.as_bytes()))
+}
+
+/// Serializes a model into artifact text.
+///
+/// # Errors
+///
+/// Propagates serialization failures as [`ServeError::BadFormat`].
+pub fn to_artifact_string(model: &CompiledModel) -> Result<String, ServeError> {
+    let payload = serde_json::to_string(model).map_err(|e| ServeError::BadFormat {
+        what: format!("cannot serialize model: {e}"),
+    })?;
+    let envelope = Content::Map(vec![
+        ("format".into(), Content::Str(FORMAT_TAG.into())),
+        ("version".into(), Content::U64(u64::from(FORMAT_VERSION))),
+        ("checksum".into(), Content::Str(checksum(&payload))),
+        ("payload".into(), Content::Str(payload)),
+    ]);
+    serde_json::to_string(&envelope).map_err(|e| ServeError::BadFormat {
+        what: format!("cannot serialize envelope: {e}"),
+    })
+}
+
+/// Parses artifact text back into a model, validating format tag, version
+/// and checksum.
+///
+/// # Errors
+///
+/// [`ServeError::BadFormat`] for malformed JSON or a missing/wrong format
+/// tag, [`ServeError::VersionMismatch`] for any version other than
+/// [`FORMAT_VERSION`], [`ServeError::ChecksumMismatch`] when the payload
+/// bytes do not hash to the recorded checksum.
+pub fn from_artifact_str(text: &str) -> Result<CompiledModel, ServeError> {
+    let envelope: Content = serde_json::from_str(text).map_err(|e| ServeError::BadFormat {
+        what: format!("not JSON: {e}"),
+    })?;
+    let tag = envelope
+        .get("format")
+        .and_then(Content::as_str)
+        .ok_or_else(|| ServeError::BadFormat {
+            what: "missing 'format' tag".into(),
+        })?;
+    if tag != FORMAT_TAG {
+        return Err(ServeError::BadFormat {
+            what: format!("format tag '{tag}' is not '{FORMAT_TAG}'"),
+        });
+    }
+    let version = envelope
+        .get("version")
+        .and_then(Content::as_u64)
+        .ok_or_else(|| ServeError::BadFormat {
+            what: "missing 'version' field".into(),
+        })?;
+    if version != u64::from(FORMAT_VERSION) {
+        return Err(ServeError::VersionMismatch {
+            found: u32::try_from(version).unwrap_or(u32::MAX),
+            supported: FORMAT_VERSION,
+        });
+    }
+    let recorded = envelope
+        .get("checksum")
+        .and_then(Content::as_str)
+        .ok_or_else(|| ServeError::BadFormat {
+            what: "missing 'checksum' field".into(),
+        })?;
+    let payload = envelope
+        .get("payload")
+        .and_then(Content::as_str)
+        .ok_or_else(|| ServeError::BadFormat {
+            what: "missing 'payload' field".into(),
+        })?;
+    let actual = checksum(payload);
+    if recorded != actual {
+        return Err(ServeError::ChecksumMismatch {
+            expected: recorded.to_string(),
+            actual,
+        });
+    }
+    serde_json::from_str(payload).map_err(|e| ServeError::BadFormat {
+        what: format!("payload is not a compiled model: {e}"),
+    })
+}
+
+/// Writes a model to `path` in artifact form.
+///
+/// # Errors
+///
+/// Serialization failures and I/O failures.
+pub fn save_artifact(model: &CompiledModel, path: impl AsRef<Path>) -> Result<(), ServeError> {
+    let path = path.as_ref();
+    let text = to_artifact_string(model)?;
+    std::fs::write(path, text).map_err(|e| ServeError::Io {
+        path: path.display().to_string(),
+        source: e,
+    })
+}
+
+/// Reads an artifact file, validating version and checksum.
+///
+/// # Errors
+///
+/// As [`from_artifact_str`], plus I/O failures.
+pub fn load_artifact(path: impl AsRef<Path>) -> Result<CompiledModel, ServeError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| ServeError::Io {
+        path: path.display().to_string(),
+        source: e,
+    })?;
+    from_artifact_str(&text)
+}
+
+/// Reads a model from a file that is either a `.awesym` artifact or a raw
+/// `CompiledModel` JSON dump (the pre-artifact `awesym model --out` form).
+/// Files carrying the artifact `format` tag get the strict validation
+/// path; anything else is tried as a raw model.
+///
+/// # Errors
+///
+/// As [`load_artifact`] for artifacts; [`ServeError::BadFormat`] when raw
+/// JSON does not describe a model.
+pub fn load_model_file(path: impl AsRef<Path>) -> Result<CompiledModel, ServeError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| ServeError::Io {
+        path: path.display().to_string(),
+        source: e,
+    })?;
+    let looks_like_artifact = serde_json::from_str::<Content>(&text)
+        .ok()
+        .is_some_and(|v| v.get("format").is_some());
+    if looks_like_artifact {
+        from_artifact_str(&text)
+    } else {
+        serde_json::from_str(&text).map_err(|e| ServeError::BadFormat {
+            what: format!("not a compiled model: {e}"),
+        })
+    }
+}

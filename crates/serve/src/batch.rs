@@ -1,0 +1,278 @@
+//! Concurrent batch evaluation over a shared compiled model.
+//!
+//! A compiled model's evaluation is a pure function of the symbol values
+//! (a flat tape replay plus a tiny Padé solve), so fanning a batch of
+//! points across threads is embarrassingly parallel: each worker owns a
+//! disjoint slice of the result vector and a private scratch buffer, and
+//! the shared model is only read. Results always come back in input
+//! order, and a bad point (wrong arity, unstable ROM, …) yields a
+//! per-point error instead of aborting the batch.
+
+use awesym_partition::CompiledModel;
+
+/// What to compute for each point of a batch.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchOutput {
+    /// The raw `2q` moments.
+    Moments,
+    /// Full reduced-order model: poles, residues, DC gain, 50 % delay.
+    Rom,
+    /// DC gain only (first moment).
+    DcGain,
+    /// Unit-step response sampled at the given times.
+    Step {
+        /// Sample times in seconds.
+        times: Vec<f64>,
+    },
+    /// The moment-based delay-metric family.
+    Delays,
+}
+
+/// Pole/residue summary of a reduced-order model, flattened to plain
+/// arrays for transport.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RomSummary {
+    /// Real parts of the poles (rad/s).
+    pub poles_re: Vec<f64>,
+    /// Imaginary parts of the poles.
+    pub poles_im: Vec<f64>,
+    /// Real parts of the residues.
+    pub residues_re: Vec<f64>,
+    /// Imaginary parts of the residues.
+    pub residues_im: Vec<f64>,
+    /// DC gain.
+    pub dc_gain: f64,
+    /// All poles in the open left half-plane?
+    pub stable: bool,
+    /// 50 % step delay, when the response crosses it.
+    pub delay_50: Option<f64>,
+}
+
+/// The delay-metric family, mirroring [`awesym_awe::DelayEstimates`] with
+/// serde support.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DelaySummary {
+    /// Elmore delay `−m₁`.
+    pub elmore: f64,
+    /// `ln2 · (−m₁)`.
+    pub ln2_elmore: f64,
+    /// The D2M metric.
+    pub d2m: f64,
+    /// Two-pole 50 % delay, when the fit exists.
+    pub two_pole: Option<f64>,
+}
+
+impl From<awesym_awe::DelayEstimates> for DelaySummary {
+    fn from(d: awesym_awe::DelayEstimates) -> Self {
+        DelaySummary {
+            elmore: d.elmore,
+            ln2_elmore: d.ln2_elmore,
+            d2m: d.d2m,
+            two_pole: d.two_pole,
+        }
+    }
+}
+
+/// One point's successful result.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum PointValue {
+    /// Raw moments.
+    Moments(Vec<f64>),
+    /// Pole/residue model.
+    Rom(RomSummary),
+    /// DC gain.
+    DcGain(f64),
+    /// Step-response samples.
+    Step(Vec<f64>),
+    /// Delay metrics.
+    Delays(DelaySummary),
+}
+
+/// One point's outcome: a value or a point-local error message.
+pub type PointResult = Result<PointValue, String>;
+
+fn rom_summary(model: &CompiledModel, vals: &[f64]) -> Result<RomSummary, String> {
+    let rom = model.rom(vals).map_err(|e| e.to_string())?;
+    Ok(RomSummary {
+        poles_re: rom.poles().iter().map(|p| p.re).collect(),
+        poles_im: rom.poles().iter().map(|p| p.im).collect(),
+        residues_re: rom.residues().iter().map(|k| k.re).collect(),
+        residues_im: rom.residues().iter().map(|k| k.im).collect(),
+        dc_gain: rom.dc_gain(),
+        stable: rom.is_stable(),
+        delay_50: rom.delay_50(),
+    })
+}
+
+/// Evaluates one point using caller-provided scratch space. `scratch`
+/// must hold [`CompiledModel::scratch_len`] values and `moments` `2q`.
+fn eval_point(
+    model: &CompiledModel,
+    vals: &[f64],
+    output: &BatchOutput,
+    scratch: &mut [f64],
+    moments: &mut [f64],
+) -> PointResult {
+    let n_sym = model.symbols().len();
+    if vals.len() != n_sym {
+        return Err(format!(
+            "point has {} values, model has {n_sym} symbols",
+            vals.len()
+        ));
+    }
+    // Single tape replay into the reused buffer covers every output kind.
+    model.eval_moments_into(vals, scratch, moments);
+    match output {
+        BatchOutput::Moments => Ok(PointValue::Moments(moments.to_vec())),
+        BatchOutput::DcGain => Ok(PointValue::DcGain(moments[0])),
+        BatchOutput::Rom => rom_summary(model, vals).map(PointValue::Rom),
+        BatchOutput::Step { times } => {
+            let rom = model.rom(vals).map_err(|e| e.to_string())?;
+            Ok(PointValue::Step(rom.step_response_series(times)))
+        }
+        BatchOutput::Delays => awesym_awe::delay_estimates(moments)
+            .map(|d| PointValue::Delays(d.into()))
+            .map_err(|e| e.to_string()),
+    }
+}
+
+/// Worker-count default: the machine's available parallelism.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Evaluates `points` against `model`, fanning across `workers` threads
+/// (`None` → [`default_workers`]). Results are returned in input order;
+/// each point independently succeeds or reports an error string.
+///
+/// # Panics
+///
+/// Panics only if a worker thread panics (model evaluation itself maps
+/// failures into per-point errors).
+pub fn evaluate_batch(
+    model: &CompiledModel,
+    points: &[Vec<f64>],
+    output: &BatchOutput,
+    workers: Option<usize>,
+) -> Vec<PointResult> {
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.unwrap_or_else(default_workers).clamp(1, n);
+    let mut results: Vec<Option<PointResult>> = vec![None; n];
+    let chunk = n.div_ceil(workers);
+
+    if workers == 1 {
+        // Serial fast path: no thread spawn, same per-point code.
+        let mut scratch = vec![0.0; model.scratch_len()];
+        let mut moments = vec![0.0; 2 * model.order()];
+        for (slot, point) in results.iter_mut().zip(points) {
+            *slot = Some(eval_point(model, point, output, &mut scratch, &mut moments));
+        }
+    } else {
+        std::thread::scope(|s| {
+            for (out_chunk, in_chunk) in results.chunks_mut(chunk).zip(points.chunks(chunk)) {
+                s.spawn(move || {
+                    let mut scratch = vec![0.0; model.scratch_len()];
+                    let mut moments = vec![0.0; 2 * model.order()];
+                    for (slot, point) in out_chunk.iter_mut().zip(in_chunk) {
+                        *slot = Some(eval_point(model, point, output, &mut scratch, &mut moments));
+                    }
+                });
+            }
+        });
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use awesym_circuit::generators::fig1_rc;
+    use awesym_partition::SymbolBinding;
+
+    fn model2() -> CompiledModel {
+        let w = fig1_rc(1e-3, 2e-3, 1e-9, 3e-9);
+        let c = &w.circuit;
+        let bindings = [
+            SymbolBinding::capacitance("c1", vec![c.find("C1").unwrap()]),
+            SymbolBinding::resistance("r2", vec![c.find("R2").unwrap()]),
+        ];
+        CompiledModel::build(c, w.input, w.output, &bindings, 2).unwrap()
+    }
+
+    fn grid(n: usize) -> Vec<Vec<f64>> {
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / n as f64;
+                vec![0.5e-9 + 3e-9 * t, 300.0 + 4000.0 * t]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_direct_evaluation_in_order() {
+        let m = model2();
+        let pts = grid(64);
+        let got = evaluate_batch(&m, &pts, &BatchOutput::Moments, Some(4));
+        assert_eq!(got.len(), pts.len());
+        for (r, p) in got.iter().zip(&pts) {
+            assert_eq!(r.as_ref().unwrap(), &PointValue::Moments(m.eval_moments(p)));
+        }
+    }
+
+    #[test]
+    fn worker_counts_agree() {
+        let m = model2();
+        let pts = grid(37);
+        let base = evaluate_batch(&m, &pts, &BatchOutput::Rom, Some(1));
+        for w in [2, 3, 8, 64] {
+            assert_eq!(evaluate_batch(&m, &pts, &BatchOutput::Rom, Some(w)), base);
+        }
+    }
+
+    #[test]
+    fn bad_points_error_without_aborting_batch() {
+        let m = model2();
+        let pts = vec![vec![1e-9, 1e3], vec![1e-9], vec![2e-9, 2e3]];
+        let got = evaluate_batch(&m, &pts, &BatchOutput::DcGain, Some(2));
+        assert!(got[0].is_ok());
+        assert!(got[1].as_ref().unwrap_err().contains("2 symbols"));
+        assert!(got[2].is_ok());
+    }
+
+    #[test]
+    fn all_output_kinds_produce_values() {
+        let m = model2();
+        let pts = grid(4);
+        for out in [
+            BatchOutput::Moments,
+            BatchOutput::Rom,
+            BatchOutput::DcGain,
+            BatchOutput::Step {
+                times: vec![0.0, 1e-6, 1e-5],
+            },
+            BatchOutput::Delays,
+        ] {
+            let got = evaluate_batch(&m, &pts, &out, None);
+            assert!(got.iter().all(Result::is_ok), "{out:?}");
+        }
+        assert!(evaluate_batch(&m, &[], &BatchOutput::Moments, None).is_empty());
+    }
+
+    #[test]
+    fn delay_values_are_physical() {
+        let m = model2();
+        let got = evaluate_batch(&m, &grid(3), &BatchOutput::Delays, Some(2));
+        for r in got {
+            let PointValue::Delays(d) = r.unwrap() else {
+                panic!("wrong kind")
+            };
+            assert!(d.elmore > 0.0 && d.d2m > 0.0);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for the serving runtime.
+
+use std::fmt;
+
+/// Errors produced by the artifact, registry, batch, and server layers.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Filesystem failure (path and source).
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The file is not an awesym artifact (bad magic/format tag or
+    /// malformed JSON).
+    BadFormat {
+        /// What was wrong.
+        what: String,
+    },
+    /// The artifact's format version is not supported by this build.
+    VersionMismatch {
+        /// Version found in the file.
+        found: u32,
+        /// Highest version this build supports.
+        supported: u32,
+    },
+    /// The payload checksum does not match — the artifact is corrupt.
+    ChecksumMismatch {
+        /// Checksum recorded in the file.
+        expected: String,
+        /// Checksum computed from the payload.
+        actual: String,
+    },
+    /// A registry lookup failed.
+    ModelNotFound {
+        /// The requested model name.
+        name: String,
+    },
+    /// A request was structurally invalid.
+    BadRequest {
+        /// What was wrong.
+        what: String,
+    },
+    /// Model compilation or evaluation failed.
+    Model(awesym_partition::PartitionError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io { path, source } => write!(f, "io error on {path}: {source}"),
+            ServeError::BadFormat { what } => write!(f, "not a valid .awesym artifact: {what}"),
+            ServeError::VersionMismatch { found, supported } => write!(
+                f,
+                "artifact format version {found} is newer than supported version {supported}"
+            ),
+            ServeError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "artifact payload corrupt: checksum {actual} != recorded {expected}"
+            ),
+            ServeError::ModelNotFound { name } => write!(f, "no model named '{name}' in registry"),
+            ServeError::BadRequest { what } => write!(f, "bad request: {what}"),
+            ServeError::Model(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Io { source, .. } => Some(source),
+            ServeError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<awesym_partition::PartitionError> for ServeError {
+    fn from(e: awesym_partition::PartitionError) -> Self {
+        ServeError::Model(e)
+    }
+}

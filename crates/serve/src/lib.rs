@@ -1,0 +1,35 @@
+//! Serving runtime for compiled AWEsymbolic models.
+//!
+//! The paper's economics — one expensive symbolic compilation, then
+//! microsecond evaluations — only pay off when the compiled model
+//! outlives the process that built it and can be hammered with points.
+//! This crate supplies that production half:
+//!
+//! - [`artifact`]: versioned, checksummed `.awesym` files
+//!   ([`save_artifact`] / [`load_artifact`]);
+//! - [`registry`]: a named, thread-safe, LRU-evicting in-memory
+//!   [`ModelRegistry`];
+//! - [`batch`]: [`evaluate_batch`], fanning points across scoped worker
+//!   threads with per-thread scratch reuse and per-point errors;
+//! - [`server`]: the newline-delimited-JSON [`Server`] engine behind
+//!   `awesym serve`, with request/latency/throughput [`stats`].
+
+#![forbid(unsafe_code)]
+
+pub mod artifact;
+pub mod batch;
+mod error;
+pub mod registry;
+pub mod resolve;
+pub mod server;
+pub mod stats;
+
+pub use artifact::{
+    from_artifact_str, load_artifact, load_model_file, save_artifact, to_artifact_string,
+    FORMAT_TAG, FORMAT_VERSION,
+};
+pub use batch::{evaluate_batch, BatchOutput, DelaySummary, PointResult, PointValue, RomSummary};
+pub use error::ServeError;
+pub use registry::{ModelRegistry, RegistryStats};
+pub use server::{Response, Server, DEFAULT_CAPACITY};
+pub use stats::{ServerStats, StatsSnapshot};

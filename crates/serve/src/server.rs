@@ -1,0 +1,546 @@
+//! Newline-delimited-JSON request engine.
+//!
+//! One request per line in, one JSON response per line out — the
+//! transport-agnostic core behind `awesym serve`. Commands:
+//!
+//! | command    | action |
+//! |------------|--------|
+//! | `load`     | read a `.awesym` artifact (or raw model JSON) into the registry |
+//! | `compile`  | parse a netlist, build a compiled model, register it |
+//! | `save`     | write a registered model back out as an artifact |
+//! | `eval`     | evaluate one point against a registered model |
+//! | `batch`    | evaluate many points concurrently |
+//! | `stats`    | report request/latency/throughput/registry counters |
+//! | `shutdown` | acknowledge and stop the serve loop |
+//!
+//! Every response carries `"ok"`; failures report `{"ok":false,
+//! "error":"…"}` and never kill the loop. An optional request `"id"` is
+//! echoed back for client-side correlation.
+
+use crate::batch::{evaluate_batch, BatchOutput, PointValue};
+use crate::registry::ModelRegistry;
+use crate::stats::ServerStats;
+use crate::{artifact, resolve, ServeError};
+use awesym_partition::CompiledModel;
+use serde::Content;
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default registry capacity for a server.
+pub const DEFAULT_CAPACITY: usize = 16;
+
+/// One handled request's outcome.
+pub struct Response {
+    /// The JSON response line (no trailing newline).
+    pub text: String,
+    /// True when the request asked the serve loop to stop.
+    pub shutdown: bool,
+}
+
+/// The serving engine: a model registry plus counters, driven one
+/// request line at a time. `&self` methods only — safe to share across
+/// threads.
+pub struct Server {
+    registry: ModelRegistry,
+    stats: ServerStats,
+}
+
+fn obj(fields: Vec<(&str, Content)>) -> Content {
+    Content::Map(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn f64s(v: &[f64]) -> Content {
+    Content::Seq(v.iter().map(|&x| Content::F64(x)).collect())
+}
+
+fn opt_f64(v: Option<f64>) -> Content {
+    v.map_or(Content::Null, Content::F64)
+}
+
+/// Extracts a required string field.
+fn need_str<'a>(req: &'a Content, key: &str) -> Result<&'a str, ServeError> {
+    req.get(key)
+        .and_then(Content::as_str)
+        .ok_or_else(|| ServeError::BadRequest {
+            what: format!("missing string field '{key}'"),
+        })
+}
+
+fn point_from(c: &Content, what: &str) -> Result<Vec<f64>, ServeError> {
+    c.as_seq()
+        .and_then(|s| s.iter().map(Content::as_f64).collect::<Option<Vec<f64>>>())
+        .ok_or_else(|| ServeError::BadRequest {
+            what: format!("{what} must be an array of numbers"),
+        })
+}
+
+fn output_kind(req: &Content) -> Result<BatchOutput, ServeError> {
+    // `kind` is the documented name; `output` is accepted as an alias so a
+    // natural guess does not silently fall back to the moments default.
+    let kind = req
+        .get("kind")
+        .or_else(|| req.get("output"))
+        .and_then(Content::as_str)
+        .unwrap_or("moments");
+    match kind {
+        "moments" => Ok(BatchOutput::Moments),
+        "rom" => Ok(BatchOutput::Rom),
+        "dc_gain" => Ok(BatchOutput::DcGain),
+        "delays" => Ok(BatchOutput::Delays),
+        "step" => {
+            let times = req.get("times").ok_or_else(|| ServeError::BadRequest {
+                what: "kind 'step' requires a 'times' array".into(),
+            })?;
+            Ok(BatchOutput::Step {
+                times: point_from(times, "'times'")?,
+            })
+        }
+        other => Err(ServeError::BadRequest {
+            what: format!("unknown kind '{other}' (moments|rom|dc_gain|step|delays)"),
+        }),
+    }
+}
+
+fn point_value_json(v: &PointValue) -> Content {
+    match v {
+        PointValue::Moments(m) => obj(vec![("moments", f64s(m))]),
+        PointValue::DcGain(g) => obj(vec![("dc_gain", Content::F64(*g))]),
+        PointValue::Step(s) => obj(vec![("step", f64s(s))]),
+        PointValue::Rom(r) => obj(vec![
+            ("poles_re", f64s(&r.poles_re)),
+            ("poles_im", f64s(&r.poles_im)),
+            ("residues_re", f64s(&r.residues_re)),
+            ("residues_im", f64s(&r.residues_im)),
+            ("dc_gain", Content::F64(r.dc_gain)),
+            ("stable", Content::Bool(r.stable)),
+            ("delay_50", opt_f64(r.delay_50)),
+        ]),
+        PointValue::Delays(d) => obj(vec![
+            ("elmore", Content::F64(d.elmore)),
+            ("ln2_elmore", Content::F64(d.ln2_elmore)),
+            ("d2m", Content::F64(d.d2m)),
+            ("two_pole", opt_f64(d.two_pole)),
+        ]),
+    }
+}
+
+fn model_summary(name: &str, model: &CompiledModel) -> Vec<(&'static str, Content)> {
+    vec![
+        ("name", Content::Str(name.to_string())),
+        (
+            "symbols",
+            Content::Seq(
+                model
+                    .symbols()
+                    .iter()
+                    .map(|s| Content::Str(s.to_string()))
+                    .collect(),
+            ),
+        ),
+        ("order", Content::U64(model.order() as u64)),
+        ("op_count", Content::U64(model.op_count() as u64)),
+    ]
+}
+
+impl Server {
+    /// A server with the given registry capacity.
+    pub fn new(capacity: usize) -> Self {
+        Server {
+            registry: ModelRegistry::new(capacity),
+            stats: ServerStats::new(),
+        }
+    }
+
+    /// The underlying registry (e.g. to pre-load models).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    fn model(&self, req: &Content) -> Result<Arc<CompiledModel>, ServeError> {
+        let name = need_str(req, "model")?;
+        self.registry
+            .get(name)
+            .ok_or_else(|| ServeError::ModelNotFound {
+                name: name.to_string(),
+            })
+    }
+
+    fn cmd_load(&self, req: &Content) -> Result<Vec<(&'static str, Content)>, ServeError> {
+        let name = need_str(req, "name")?;
+        let path = need_str(req, "path")?;
+        let model = artifact::load_model_file(path)?;
+        let mut fields = model_summary(name, &model);
+        let evicted = self.registry.insert(name, model);
+        if let Some(e) = evicted {
+            fields.push(("evicted", Content::Str(e)));
+        }
+        Ok(fields)
+    }
+
+    fn cmd_compile(&self, req: &Content) -> Result<Vec<(&'static str, Content)>, ServeError> {
+        let name = need_str(req, "name")?;
+        let text = match req.get("netlist").and_then(Content::as_str) {
+            Some(t) => t.to_string(),
+            None => {
+                let path = need_str(req, "path").map_err(|_| ServeError::BadRequest {
+                    what: "compile needs 'netlist' text or a 'path'".into(),
+                })?;
+                std::fs::read_to_string(path).map_err(|e| ServeError::Io {
+                    path: path.to_string(),
+                    source: e,
+                })?
+            }
+        };
+        let circuit = awesym_circuit::parse_spice(&text).map_err(|e| ServeError::BadRequest {
+            what: format!("netlist: {e}"),
+        })?;
+        let input_name = need_str(req, "input")?;
+        let input = circuit
+            .find(input_name)
+            .ok_or_else(|| ServeError::BadRequest {
+                what: format!("no element named {input_name}"),
+            })?;
+        let output_name = need_str(req, "output")?;
+        let output = circuit
+            .find_node(output_name)
+            .ok_or_else(|| ServeError::BadRequest {
+                what: format!("no node named {output_name}"),
+            })?;
+        let specs: Vec<String> = req
+            .get("symbols")
+            .and_then(Content::as_seq)
+            .map(|s| {
+                s.iter()
+                    .filter_map(|v| v.as_str().map(str::to_string))
+                    .collect()
+            })
+            .unwrap_or_default();
+        let bindings = resolve::resolve_symbol_specs(&circuit, &specs)
+            .map_err(|what| ServeError::BadRequest { what })?;
+        let order = req
+            .get("order")
+            .and_then(Content::as_u64)
+            .map_or(2, |v| v as usize);
+        let model = CompiledModel::build(&circuit, input, output, &bindings, order)?;
+        let mut fields = model_summary(name, &model);
+        if let Some(e) = self.registry.insert(name, model) {
+            fields.push(("evicted", Content::Str(e)));
+        }
+        Ok(fields)
+    }
+
+    fn cmd_save(&self, req: &Content) -> Result<Vec<(&'static str, Content)>, ServeError> {
+        let path = need_str(req, "path")?;
+        let model = self.model(req)?;
+        artifact::save_artifact(&model, path)?;
+        Ok(vec![("path", Content::Str(path.to_string()))])
+    }
+
+    fn cmd_eval(&self, req: &Content) -> Result<Vec<(&'static str, Content)>, ServeError> {
+        let model = self.model(req)?;
+        let values = point_from(
+            req.get("values").ok_or_else(|| ServeError::BadRequest {
+                what: "missing 'values' array".into(),
+            })?,
+            "'values'",
+        )?;
+        let kind = output_kind(req)?;
+        let mut results = evaluate_batch(&model, std::slice::from_ref(&values), &kind, Some(1));
+        match results.pop().expect("one point in, one result out") {
+            Ok(v) => Ok(vec![("result", point_value_json(&v))]),
+            Err(e) => Err(ServeError::BadRequest { what: e }),
+        }
+    }
+
+    fn cmd_batch(&self, req: &Content) -> Result<Vec<(&'static str, Content)>, ServeError> {
+        let model = self.model(req)?;
+        let points: Vec<Vec<f64>> = req
+            .get("points")
+            .and_then(Content::as_seq)
+            .ok_or_else(|| ServeError::BadRequest {
+                what: "missing 'points' array of arrays".into(),
+            })?
+            .iter()
+            .map(|p| point_from(p, "each point"))
+            .collect::<Result<_, _>>()?;
+        let kind = output_kind(req)?;
+        let workers = req
+            .get("workers")
+            .and_then(Content::as_u64)
+            .map(|v| (v as usize).max(1));
+        let t0 = Instant::now();
+        let results = evaluate_batch(&model, &points, &kind, workers);
+        let elapsed = t0.elapsed();
+        self.stats.record_batch(points.len(), elapsed);
+        let ok_count = results.iter().filter(|r| r.is_ok()).count();
+        let json: Vec<Content> = results
+            .iter()
+            .map(|r| match r {
+                Ok(v) => point_value_json(v),
+                Err(e) => obj(vec![("error", Content::Str(e.clone()))]),
+            })
+            .collect();
+        let secs = elapsed.as_secs_f64();
+        Ok(vec![
+            ("count", Content::U64(points.len() as u64)),
+            ("ok_count", Content::U64(ok_count as u64)),
+            ("elapsed_secs", Content::F64(secs)),
+            (
+                "points_per_sec",
+                Content::F64(if secs > 0.0 {
+                    points.len() as f64 / secs
+                } else {
+                    0.0
+                }),
+            ),
+            ("results", Content::Seq(json)),
+        ])
+    }
+
+    fn cmd_stats(&self) -> Result<Vec<(&'static str, Content)>, ServeError> {
+        let server =
+            serde_json::to_value(&self.stats.snapshot()).map_err(|e| ServeError::BadRequest {
+                what: format!("stats serialization: {e}"),
+            })?;
+        let registry =
+            serde_json::to_value(&self.registry.stats()).map_err(|e| ServeError::BadRequest {
+                what: format!("stats serialization: {e}"),
+            })?;
+        Ok(vec![
+            ("server", server),
+            ("registry", registry),
+            (
+                "models",
+                Content::Seq(
+                    self.registry
+                        .names()
+                        .into_iter()
+                        .map(Content::Str)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Handles one request line, returning the response line and whether
+    /// the loop should stop. Blank lines are ignored (`None`).
+    pub fn handle_line(&self, line: &str) -> Option<Response> {
+        let line = line.trim();
+        if line.is_empty() {
+            return None;
+        }
+        let t0 = Instant::now();
+        let req = serde_json::from_str::<Content>(line).map_err(|e| ServeError::BadRequest {
+            what: format!("request is not JSON: {e}"),
+        });
+        let id = req
+            .as_ref()
+            .ok()
+            .and_then(|r| r.get("id").cloned())
+            .unwrap_or(Content::Null);
+        let mut shutdown = false;
+        let outcome: Result<Vec<(&'static str, Content)>, ServeError> = req.and_then(|req| {
+            let cmd = need_str(&req, "cmd")?.to_string();
+            match cmd.as_str() {
+                "load" => self.cmd_load(&req),
+                "compile" => self.cmd_compile(&req),
+                "save" => self.cmd_save(&req),
+                "eval" => self.cmd_eval(&req),
+                "batch" => self.cmd_batch(&req),
+                "stats" => self.cmd_stats(),
+                "shutdown" => {
+                    shutdown = true;
+                    Ok(vec![("shutdown", Content::Bool(true))])
+                }
+                other => Err(ServeError::BadRequest {
+                    what: format!(
+                        "unknown cmd '{other}' \
+                         (load|compile|save|eval|batch|stats|shutdown)"
+                    ),
+                }),
+            }
+        });
+        let ok = outcome.is_ok();
+        let mut fields = vec![("ok", Content::Bool(ok))];
+        if !id.is_null() {
+            fields.push(("id", id));
+        }
+        match outcome {
+            Ok(extra) => fields.extend(extra),
+            Err(e) => fields.push(("error", Content::Str(e.to_string()))),
+        }
+        self.stats.record_request(t0.elapsed(), ok);
+        let text = serde_json::to_string(&obj(fields))
+            .unwrap_or_else(|e| format!("{{\"ok\":false,\"error\":\"encoding: {e}\"}}"));
+        Some(Response { text, shutdown })
+    }
+
+    /// Runs the NDJSON loop until EOF or a `shutdown` request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport read/write failures.
+    pub fn serve<R: BufRead, W: Write>(&self, reader: R, mut writer: W) -> std::io::Result<()> {
+        for line in reader.lines() {
+            let line = line?;
+            if let Some(resp) = self.handle_line(&line) {
+                writer.write_all(resp.text.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+                if resp.shutdown {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Server::new(DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NETLIST: &str = "* fig1\nvin in 0 1\nR1 in 1 1k\nC1 1 0 1n\nR2 1 2 1k\nC2 2 0 1n\n.end\n";
+
+    fn compile_req(name: &str) -> String {
+        let req = obj(vec![
+            ("cmd", Content::Str("compile".into())),
+            ("name", Content::Str(name.into())),
+            ("netlist", Content::Str(NETLIST.into())),
+            ("input", Content::Str("vin".into())),
+            ("output", Content::Str("2".into())),
+            (
+                "symbols",
+                Content::Seq(vec![Content::Str("C1".into()), Content::Str("R2:r".into())]),
+            ),
+            ("order", Content::U64(2)),
+        ]);
+        serde_json::to_string(&req).unwrap()
+    }
+
+    fn parse(resp: &Response) -> Content {
+        serde_json::from_str(&resp.text).unwrap()
+    }
+
+    fn ok_of(c: &Content) -> bool {
+        c.get("ok").and_then(Content::as_bool).unwrap()
+    }
+
+    #[test]
+    fn compile_eval_batch_stats_shutdown_flow() {
+        let s = Server::default();
+        let r = s.handle_line(&compile_req("m")).unwrap();
+        let c = parse(&r);
+        assert!(ok_of(&c), "{}", r.text);
+        assert!(c.get("op_count").and_then(Content::as_u64).unwrap() > 0);
+
+        let r = s
+            .handle_line(r#"{"cmd":"eval","model":"m","values":[1e-9,1000.0],"kind":"dc_gain"}"#)
+            .unwrap();
+        let c = parse(&r);
+        assert!(ok_of(&c), "{}", r.text);
+        let dc = c
+            .get("result")
+            .and_then(|v| v.get("dc_gain"))
+            .and_then(Content::as_f64)
+            .unwrap();
+        assert!((dc - 1.0).abs() < 1e-9);
+
+        let r = s
+            .handle_line(
+                r#"{"cmd":"batch","model":"m","points":[[1e-9,1e3],[2e-9,2e3],[1e-9]],"kind":"moments","workers":2}"#,
+            )
+            .unwrap();
+        let c = parse(&r);
+        assert!(ok_of(&c), "{}", r.text);
+        assert_eq!(c.get("count").and_then(Content::as_u64), Some(3));
+        assert_eq!(c.get("ok_count").and_then(Content::as_u64), Some(2));
+        let results = c.get("results").and_then(Content::as_seq).unwrap();
+        assert!(results[2].get("error").is_some());
+
+        let r = s.handle_line(r#"{"cmd":"stats"}"#).unwrap();
+        let c = parse(&r);
+        assert!(ok_of(&c));
+        let server = c.get("server").unwrap();
+        assert!(server.get("requests").and_then(Content::as_u64).unwrap() >= 3);
+        assert_eq!(
+            server.get("batch_points").and_then(Content::as_u64),
+            Some(3)
+        );
+        let registry = c.get("registry").unwrap();
+        assert!(registry.get("hits").and_then(Content::as_u64).unwrap() >= 2);
+
+        let r = s.handle_line(r#"{"cmd":"shutdown"}"#).unwrap();
+        assert!(r.shutdown);
+        assert!(ok_of(&parse(&r)));
+    }
+
+    #[test]
+    fn errors_are_structured_and_nonfatal() {
+        let s = Server::default();
+        for bad in [
+            "not json at all",
+            r#"{"nocmd":1}"#,
+            r#"{"cmd":"frobnicate"}"#,
+            r#"{"cmd":"eval","model":"ghost","values":[1.0]}"#,
+            r#"{"cmd":"eval","model":"ghost"}"#,
+            r#"{"cmd":"load","name":"x","path":"/nonexistent/a.awesym"}"#,
+        ] {
+            let r = s.handle_line(bad).unwrap();
+            let c = parse(&r);
+            assert!(!ok_of(&c), "{bad} -> {}", r.text);
+            assert!(!r.shutdown);
+            assert!(c.get("error").and_then(Content::as_str).is_some());
+        }
+        // Still serving after all those failures.
+        let r = s.handle_line(&compile_req("m")).unwrap();
+        assert!(ok_of(&parse(&r)));
+        assert!(s.handle_line("   ").is_none());
+    }
+
+    #[test]
+    fn id_field_is_echoed() {
+        let s = Server::default();
+        let r = s.handle_line(r#"{"cmd":"stats","id":42}"#).unwrap();
+        let c = parse(&r);
+        assert_eq!(c.get("id").and_then(Content::as_u64), Some(42));
+        let r = s.handle_line(r#"{"cmd":"nope","id":"abc"}"#).unwrap();
+        let c = parse(&r);
+        assert_eq!(c.get("id").and_then(Content::as_str), Some("abc"));
+    }
+
+    #[test]
+    fn serve_loop_over_buffers() {
+        let s = Server::default();
+        let mut input = compile_req("m");
+        input.push('\n');
+        input.push_str(r#"{"cmd":"eval","model":"m","values":[1e-9,1000.0]}"#);
+        input.push('\n');
+        input.push_str(r#"{"cmd":"shutdown"}"#);
+        input.push('\n');
+        // Lines after shutdown must not be processed.
+        input.push_str(r#"{"cmd":"stats"}"#);
+        input.push('\n');
+        let mut out = Vec::new();
+        s.serve(input.as_bytes(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        for l in &lines {
+            let c: Content = serde_json::from_str(l).unwrap();
+            assert!(ok_of(&c), "{l}");
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Lock-free request counters and latency histogram for the server.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper edges of the latency histogram buckets, in microseconds; an
+/// implicit unbounded bucket follows.
+const BUCKET_EDGES_US: [u64; 6] = [10, 100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// Number of histogram buckets (the edges plus the overflow bucket).
+pub const NUM_BUCKETS: usize = BUCKET_EDGES_US.len() + 1;
+
+/// One histogram bucket in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LatencyBucket {
+    /// Inclusive upper edge, e.g. `"100us"`, or `"inf"` for the last.
+    pub le: String,
+    /// Requests that completed within this bucket.
+    pub count: u64,
+}
+
+/// Point-in-time view of the server counters.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StatsSnapshot {
+    /// Total requests handled (including failures).
+    pub requests: u64,
+    /// Requests that returned an error.
+    pub errors: u64,
+    /// Latency histogram over all requests.
+    pub latency: Vec<LatencyBucket>,
+    /// Points evaluated across all `batch` requests.
+    pub batch_points: u64,
+    /// Wall-clock seconds spent inside batch evaluation.
+    pub batch_secs: f64,
+    /// Aggregate batch throughput, points per second.
+    pub batch_points_per_sec: f64,
+}
+
+/// Atomic counters; cheap to update from the request path.
+#[derive(Default)]
+pub struct ServerStats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    buckets: [AtomicU64; NUM_BUCKETS],
+    batch_points: AtomicU64,
+    batch_nanos: AtomicU64,
+}
+
+fn bucket_label(i: usize) -> String {
+    match BUCKET_EDGES_US.get(i) {
+        Some(&us) if us < 1_000 => format!("{us}us"),
+        Some(&us) if us < 1_000_000 => format!("{}ms", us / 1_000),
+        Some(&us) => format!("{}s", us / 1_000_000),
+        None => "inf".to_string(),
+    }
+}
+
+impl ServerStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one handled request and its latency.
+    pub fn record_request(&self, latency: Duration, ok: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+        let idx = BUCKET_EDGES_US
+            .iter()
+            .position(|&edge| us <= edge)
+            .unwrap_or(NUM_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a completed batch: how many points, how long the
+    /// evaluation took.
+    pub fn record_batch(&self, points: usize, elapsed: Duration) {
+        self.batch_points
+            .fetch_add(points as u64, Ordering::Relaxed);
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.batch_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Snapshots every counter.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let latency = (0..NUM_BUCKETS)
+            .map(|i| LatencyBucket {
+                le: bucket_label(i),
+                count: self.buckets[i].load(Ordering::Relaxed),
+            })
+            .collect();
+        let batch_points = self.batch_points.load(Ordering::Relaxed);
+        let batch_secs = self.batch_nanos.load(Ordering::Relaxed) as f64 * 1e-9;
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            latency,
+            batch_points,
+            batch_secs,
+            batch_points_per_sec: if batch_secs > 0.0 {
+                batch_points as f64 / batch_secs
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = ServerStats::new();
+        s.record_request(Duration::from_micros(5), true);
+        s.record_request(Duration::from_micros(50), false);
+        s.record_request(Duration::from_secs(10), true);
+        s.record_batch(1000, Duration::from_millis(100));
+        let snap = s.snapshot();
+        assert_eq!(snap.requests, 3);
+        assert_eq!(snap.errors, 1);
+        assert_eq!(snap.latency.len(), NUM_BUCKETS);
+        assert_eq!(snap.latency[0].count, 1);
+        assert_eq!(snap.latency[1].count, 1);
+        assert_eq!(snap.latency.last().unwrap().count, 1);
+        assert_eq!(snap.latency.last().unwrap().le, "inf");
+        assert_eq!(snap.batch_points, 1000);
+        assert!((snap.batch_points_per_sec - 10_000.0).abs() < 500.0);
+    }
+
+    #[test]
+    fn labels_are_human_readable() {
+        let labels: Vec<String> = (0..NUM_BUCKETS).map(bucket_label).collect();
+        assert_eq!(
+            labels,
+            ["10us", "100us", "1ms", "10ms", "100ms", "1s", "inf"]
+        );
+    }
+}

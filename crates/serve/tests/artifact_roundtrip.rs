@@ -1,0 +1,176 @@
+//! Artifact persistence: save → load must reproduce evaluation results
+//! bit-for-bit across representative circuits, and tampered or
+//! wrong-version files must be rejected with typed errors.
+
+use awesym_circuit::generators::{fig1_rc, rc_ladder, rc_tree, Workload};
+use awesym_partition::{CompiledModel, SymbolBinding};
+use awesym_serve::{
+    from_artifact_str, load_artifact, load_model_file, save_artifact, ServeError, FORMAT_VERSION,
+};
+
+/// Minimal self-cleaning temp dir (avoids a dev-dependency).
+struct TempDirLite(std::path::PathBuf);
+impl TempDirLite {
+    fn new(prefix: &str) -> Self {
+        let p = std::env::temp_dir().join(format!(
+            "{prefix}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&p).unwrap();
+        TempDirLite(p)
+    }
+    fn path(&self) -> &std::path::Path {
+        &self.0
+    }
+}
+impl Drop for TempDirLite {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Three structurally different circuits, each with two symbols.
+fn cases() -> Vec<(&'static str, Workload, Vec<SymbolBinding>)> {
+    let mut v = Vec::new();
+    let w = fig1_rc(1e-3, 2e-3, 1e-9, 3e-9);
+    let b = vec![
+        SymbolBinding::capacitance("c1", vec![w.circuit.find("C1").unwrap()]),
+        SymbolBinding::resistance("r2", vec![w.circuit.find("R2").unwrap()]),
+    ];
+    v.push(("fig1_rc", w, b));
+    let w = rc_ladder(6, 100.0, 0.5e-12);
+    let b = vec![
+        SymbolBinding::resistance("r1", vec![w.circuit.find("R1").unwrap()]),
+        SymbolBinding::capacitance("cend", vec![w.circuit.find("C6").unwrap()]),
+    ];
+    v.push(("rc_ladder", w, b));
+    let w = rc_tree(3, 50.0, 0.2e-12);
+    let b = vec![
+        SymbolBinding::resistance("rdrv", vec![w.circuit.find("Rdrv").unwrap()]),
+        SymbolBinding::capacitance("cleaf", vec![w.circuit.find("Ct7").unwrap()]),
+    ];
+    v.push(("rc_tree", w, b));
+    v
+}
+
+/// A few evaluation points spread around each model's nominal values.
+fn probe_points(model: &CompiledModel) -> Vec<Vec<f64>> {
+    let nominal = model.nominal().to_vec();
+    [0.5, 1.0, 1.7, 3.0]
+        .iter()
+        .map(|&f| nominal.iter().map(|&v| v * f).collect())
+        .collect()
+}
+
+#[test]
+fn save_load_round_trip_is_bit_identical() {
+    let dir = TempDirLite::new("awesym_artifact_rt");
+    for (name, w, bindings) in cases() {
+        let model = CompiledModel::build(&w.circuit, w.input, w.output, &bindings, 2).unwrap();
+        let path = dir.path().join(format!("{name}.awesym"));
+        save_artifact(&model, &path).unwrap();
+        let back = load_artifact(&path).unwrap();
+        assert_eq!(back.op_count(), model.op_count(), "{name}");
+        assert_eq!(back.order(), model.order(), "{name}");
+        for vals in probe_points(&model) {
+            // Moments must agree to the bit, not just approximately.
+            assert_eq!(
+                back.eval_moments(&vals),
+                model.eval_moments(&vals),
+                "{name}"
+            );
+            let (r1, r2) = (model.rom(&vals).unwrap(), back.rom(&vals).unwrap());
+            let bits = |x: f64| x.to_bits();
+            assert_eq!(r1.dc_gain().to_bits(), r2.dc_gain().to_bits(), "{name}");
+            assert_eq!(r1.poles().len(), r2.poles().len(), "{name}");
+            for (p, q) in r1.poles().iter().zip(r2.poles()) {
+                assert_eq!((bits(p.re), bits(p.im)), (bits(q.re), bits(q.im)), "{name}");
+            }
+            for (p, q) in r1.residues().iter().zip(r2.residues()) {
+                assert_eq!((bits(p.re), bits(p.im)), (bits(q.re), bits(q.im)), "{name}");
+            }
+        }
+    }
+}
+
+fn fig1_model() -> CompiledModel {
+    let (_, w, bindings) = cases().remove(0);
+    CompiledModel::build(&w.circuit, w.input, w.output, &bindings, 2).unwrap()
+}
+
+#[test]
+fn corrupted_payload_is_rejected() {
+    let model = fig1_model();
+    let text = awesym_serve::to_artifact_string(&model).unwrap();
+    // Flip one digit inside the payload without breaking the JSON.
+    let pos = text.find("\"payload\"").unwrap();
+    let digit = text[pos..].find(|c: char| c.is_ascii_digit()).unwrap() + pos;
+    let mut bytes = text.into_bytes();
+    bytes[digit] = if bytes[digit] == b'5' { b'6' } else { b'5' };
+    let tampered = String::from_utf8(bytes).unwrap();
+    match from_artifact_str(&tampered) {
+        Err(ServeError::ChecksumMismatch { expected, actual }) => assert_ne!(expected, actual),
+        other => panic!("expected ChecksumMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_version_is_rejected() {
+    let model = fig1_model();
+    let text = awesym_serve::to_artifact_string(&model).unwrap();
+    let needle = format!("\"version\":{FORMAT_VERSION}");
+    assert!(text.contains(&needle), "{text:.80}");
+    let newer = text.replace(&needle, &format!("\"version\":{}", FORMAT_VERSION + 1));
+    match from_artifact_str(&newer) {
+        Err(ServeError::VersionMismatch { found, supported }) => {
+            assert_eq!(found, FORMAT_VERSION + 1);
+            assert_eq!(supported, FORMAT_VERSION);
+        }
+        other => panic!("expected VersionMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn garbage_and_missing_fields_are_bad_format() {
+    for bad in [
+        "not json",
+        "{}",
+        r#"{"format":"something-else","version":1}"#,
+        r#"{"format":"awesym-model"}"#,
+        r#"{"format":"awesym-model","version":1}"#,
+        r#"{"format":"awesym-model","version":1,"checksum":"fnv1a64:0"}"#,
+    ] {
+        match from_artifact_str(bad) {
+            Err(ServeError::BadFormat { .. }) => {}
+            other => panic!("{bad}: expected BadFormat, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn load_model_file_accepts_raw_model_json_too() {
+    let dir = TempDirLite::new("awesym_artifact_raw");
+    let model = fig1_model();
+    let raw = dir.path().join("raw.json");
+    std::fs::write(&raw, serde_json::to_string(&model).unwrap()).unwrap();
+    let back = load_model_file(&raw).unwrap();
+    let vals = model.nominal().to_vec();
+    assert_eq!(back.eval_moments(&vals), model.eval_moments(&vals));
+    // But a real artifact still goes through strict validation.
+    let art = dir.path().join("m.awesym");
+    save_artifact(&model, &art).unwrap();
+    assert!(load_model_file(&art).is_ok());
+    let text = std::fs::read_to_string(&art).unwrap();
+    let bad = text.replace("fnv1a64:", "fnv1a64:0");
+    std::fs::write(&art, bad).unwrap();
+    assert!(matches!(
+        load_model_file(&art),
+        Err(ServeError::ChecksumMismatch { .. })
+    ));
+    // Missing file reports an Io error, not a panic.
+    assert!(matches!(
+        load_artifact(dir.path().join("nope.awesym")),
+        Err(ServeError::Io { .. })
+    ));
+}

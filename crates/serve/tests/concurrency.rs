@@ -1,0 +1,92 @@
+//! Concurrency invariants: a shared registry model evaluated from many
+//! threads must give exactly the serial answers, and batch results must
+//! not depend on the worker count.
+
+use awesym_circuit::generators::fig1_rc;
+use awesym_partition::{CompiledModel, SymbolBinding};
+use awesym_serve::{evaluate_batch, BatchOutput, ModelRegistry, PointValue};
+
+fn build_model() -> CompiledModel {
+    let w = fig1_rc(1e-3, 2e-3, 1e-9, 3e-9);
+    let c = &w.circuit;
+    let bindings = [
+        SymbolBinding::capacitance("c1", vec![c.find("C1").unwrap()]),
+        SymbolBinding::resistance("r2", vec![c.find("R2").unwrap()]),
+    ];
+    CompiledModel::build(c, w.input, w.output, &bindings, 2).unwrap()
+}
+
+/// Deterministic evaluation point for (thread, iteration).
+fn point(thread: usize, iter: usize) -> Vec<f64> {
+    let t = (thread * 100 + iter) as f64 / 800.0;
+    vec![0.5e-9 + 3.5e-9 * t, 200.0 + 4800.0 * t]
+}
+
+#[test]
+fn eight_threads_times_hundred_evals_match_serial() {
+    const THREADS: usize = 8;
+    const EVALS: usize = 100;
+    let registry = ModelRegistry::new(4);
+    registry.insert("shared", build_model());
+
+    // Serial reference, computed on a private model instance.
+    let reference_model = build_model();
+    let expected: Vec<Vec<Vec<f64>>> = (0..THREADS)
+        .map(|t| {
+            (0..EVALS)
+                .map(|i| reference_model.eval_moments(&point(t, i)))
+                .collect()
+        })
+        .collect();
+
+    let got: Vec<Vec<Vec<f64>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let registry = &registry;
+                s.spawn(move || {
+                    // Every thread hits the registry for each eval to
+                    // exercise the lock, not just the Arc.
+                    (0..EVALS)
+                        .map(|i| {
+                            let m = registry.get("shared").expect("model resident");
+                            m.eval_moments(&point(t, i))
+                        })
+                        .collect::<Vec<Vec<f64>>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(got, expected);
+    let stats = registry.stats();
+    assert_eq!(stats.hits, (THREADS * EVALS) as u64);
+    assert_eq!(stats.misses, 0);
+}
+
+#[test]
+fn batch_results_are_worker_count_invariant() {
+    let model = build_model();
+    let points: Vec<Vec<f64>> = (0..1200).map(|i| point(i % 8, i / 8)).collect();
+    let serial = evaluate_batch(&model, &points, &BatchOutput::Moments, Some(1));
+    for workers in [2, 4, 8] {
+        let parallel = evaluate_batch(&model, &points, &BatchOutput::Moments, Some(workers));
+        assert_eq!(parallel, serial, "workers={workers}");
+    }
+    // And the serial results equal direct model calls, in input order.
+    for (r, p) in serial.iter().zip(&points) {
+        assert_eq!(
+            r.as_ref().unwrap(),
+            &PointValue::Moments(model.eval_moments(p))
+        );
+    }
+}
+
+#[test]
+fn rom_batches_are_worker_count_invariant() {
+    let model = build_model();
+    let points: Vec<Vec<f64>> = (0..160).map(|i| point(i % 8, i / 8)).collect();
+    let serial = evaluate_batch(&model, &points, &BatchOutput::Rom, Some(1));
+    let parallel = evaluate_batch(&model, &points, &BatchOutput::Rom, Some(8));
+    assert_eq!(parallel, serial);
+}

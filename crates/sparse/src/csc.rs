@@ -169,8 +169,7 @@ impl<T: Scalar> Csc<T> {
     pub fn mul_vec(&self, x: &[T]) -> Vec<T> {
         assert_eq!(x.len(), self.n, "dimension mismatch in mul_vec");
         let mut y = vec![T::zero(); self.n];
-        for j in 0..self.n {
-            let xj = x[j];
+        for (j, &xj) in x.iter().enumerate() {
             if xj.is_zero() {
                 continue;
             }
@@ -189,17 +188,20 @@ impl<T: Scalar> Csc<T> {
     pub fn mul_vec_transposed(&self, x: &[T]) -> Vec<T> {
         assert_eq!(x.len(), self.n, "dimension mismatch in mul_vec_transposed");
         let mut y = vec![T::zero(); self.n];
-        for j in 0..self.n {
+        for (j, yj) in y.iter_mut().enumerate() {
             let mut acc = T::zero();
             for k in self.col_ptr[j]..self.col_ptr[j + 1] {
                 acc += self.vals[k] * x[self.row_idx[k]];
             }
-            y[j] = acc;
+            *yj = acc;
         }
         y
     }
 
     /// Densifies into a row-major `Vec<Vec<T>>` (testing/debugging helper).
+    // The column index addresses *inner* vectors at scattered rows, so an
+    // iterator over `d` cannot replace it.
+    #[allow(clippy::needless_range_loop)]
     pub fn to_dense(&self) -> Vec<Vec<T>> {
         let mut d = vec![vec![T::zero(); self.n]; self.n];
         for j in 0..self.n {

@@ -189,11 +189,9 @@ impl<T: Scalar> SparseLu<T> {
             // --- Emit U column k (rows already pivotal), diagonal last.
             for &r in topo.iter().rev() {
                 let piv = pinv[r];
-                if piv != usize::MAX && r != pivot_row && piv < k {
-                    if !x[r].is_zero() {
-                        u_rows.push(piv);
-                        u_vals.push(x[r]);
-                    }
+                if piv != usize::MAX && r != pivot_row && piv < k && !x[r].is_zero() {
+                    u_rows.push(piv);
+                    u_vals.push(x[r]);
                 }
             }
             u_rows.push(k);

@@ -77,10 +77,10 @@ impl SMat {
         (0..self.n)
             .map(|i| {
                 let mut acc = MPoly::zero(self.nvars);
-                for j in 0..self.m {
+                for (j, xj) in x.iter().enumerate() {
                     let e = self.get(i, j);
-                    if !e.is_zero() && !x[j].is_zero() {
-                        acc = acc.add(&e.mul(&x[j]));
+                    if !e.is_zero() && !xj.is_zero() {
+                        acc = acc.add(&e.mul(xj));
                     }
                 }
                 acc
@@ -119,7 +119,7 @@ impl SMat {
             let mut acc = MPoly::zero(self.nvars);
             // Laplace expansion along row r: cofactor sign is
             // (−1)^{r + position-of-j-within-S}.
-            let mut sign = if r % 2 == 0 { 1.0 } else { -1.0 };
+            let mut sign = if r.is_multiple_of(2) { 1.0 } else { -1.0 };
             for j in 0..n {
                 if s & (1 << j) == 0 {
                     continue;

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: build, test, formatting, and lints for the whole
+# workspace. Run from the repository root; fails fast on the first error.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> CI green"

@@ -1,0 +1,380 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build container has no network access and no cargo registry cache,
+//! so the real serde cannot be fetched. This crate supplies the subset the
+//! workspace uses: `Serialize` / `Deserialize` traits, derive macros
+//! (re-exported from the vendored `serde_derive`), and impls for the
+//! standard types that appear in serialized models.
+//!
+//! Instead of serde's visitor architecture, both traits go through a
+//! JSON-shaped [`Content`] tree; `serde_json` (also vendored) renders that
+//! tree to text and parses it back. JSON encodings match real serde's
+//! conventions (externally tagged enums, transparent newtypes, `null` for
+//! `None`), so artifacts written by this stand-in remain readable if the
+//! real crates are ever restored.
+
+use std::collections::HashMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the data model both traits target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value exceeds `i64::MAX`).
+    U64(u64),
+    /// Floating-point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object, preserving insertion order (deterministic output).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// True for `Content::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// Boolean value, when this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Signed integer value, when representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::I64(v) => Some(*v),
+            Content::U64(v) => i64::try_from(*v).ok(),
+            Content::F64(v) if v.fract() == 0.0 && v.abs() < 9.007_199_254_740_992e15 => {
+                Some(*v as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer value, when representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(v) => Some(*v),
+            Content::I64(v) => u64::try_from(*v).ok(),
+            Content::F64(v) if v.fract() == 0.0 && *v >= 0.0 && *v < 1.8446744073709552e19 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::F64(v) => Some(*v),
+            Content::I64(v) => Some(*v as f64),
+            Content::U64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// String slice, when this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array contents, when this is an array.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Object entries, when this is an object.
+    pub fn as_map_slice(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Looks up a key of an object.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        self.as_map_slice()
+            .and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from any displayable message.
+    pub fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can render themselves into a [`Content`] tree.
+pub trait Serialize {
+    /// Converts to the data-model tree.
+    fn to_content(&self) -> Content;
+}
+
+/// Types that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Converts from the data-model tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the tree does not match the expected shape.
+    fn from_content(c: &Content) -> Result<Self, Error>;
+}
+
+/// Looks up and deserializes a required struct field.
+///
+/// # Errors
+///
+/// Returns [`Error`] when the key is missing or its value mismatches.
+pub fn de_field<T: Deserialize>(m: &[(String, Content)], key: &str) -> Result<T, Error> {
+    match m.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => {
+            T::from_content(v).map_err(|e| Error::custom(format!("field '{key}': {e}")))
+        }
+        None => Err(Error::custom(format!("missing field '{key}'"))),
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Ok(c.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_bool().ok_or_else(|| Error::custom("expected bool"))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v = c.as_i64().ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(v).map_err(|_| Error::custom(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let v = c.as_u64().ok_or_else(|| Error::custom(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(v).map_err(|_| Error::custom(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        if c.is_null() {
+            // Real serde_json writes non-finite floats as null.
+            return Ok(f64::NAN);
+        }
+        c.as_f64().ok_or_else(|| Error::custom("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        Ok(f64::from_content(c)? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_seq()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        if c.is_null() {
+            Ok(None)
+        } else {
+            T::from_content(c).map(Some)
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_content(&self) -> Content {
+        // Sorted for deterministic output.
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, Error> {
+        c.as_map_slice()
+            .ok_or_else(|| Error::custom("expected object"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_content(v)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($idx:tt : $t:ident),+ ; $len:expr) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_content(c: &Content) -> Result<Self, Error> {
+                let s = c.as_seq().ok_or_else(|| Error::custom("expected array for tuple"))?;
+                if s.len() != $len {
+                    return Err(Error::custom("wrong tuple length"));
+                }
+                Ok(($($t::from_content(&s[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(0: A; 1);
+impl_tuple!(0: A, 1: B; 2);
+impl_tuple!(0: A, 1: B, 2: C; 3);
+impl_tuple!(0: A, 1: B, 2: C, 3: D; 4);

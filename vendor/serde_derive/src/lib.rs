@@ -1,0 +1,415 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This container has no network access and no cargo registry cache, so the
+//! real serde cannot be fetched; this crate (together with `vendor/serde`
+//! and `vendor/serde_json`) supplies the small subset the workspace uses.
+//! The derive is hand-rolled over `proc_macro::TokenStream` (no `syn` /
+//! `quote`) and supports:
+//!
+//! - named-field structs (with `#[serde(skip)]` on individual fields:
+//!   skipped on serialize, filled from `Default` on deserialize),
+//! - tuple structs (newtypes serialize transparently; wider tuples as
+//!   JSON arrays),
+//! - enums with unit, tuple, and struct variants using serde's external
+//!   tagging (`"Variant"`, `{"Variant": value}`, `{"Variant": [..]}`,
+//!   `{"Variant": {..}}`).
+//!
+//! Generics are not supported — no type in this workspace derives serde on
+//! a generic item.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field of a struct or struct variant.
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    /// `struct S { a: T, b: U }`
+    Named(Vec<Field>),
+    /// `struct S(T, U);` — count of fields.
+    Tuple(usize),
+    /// `enum E { ... }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Returns true when an attribute group (the `[...]` tokens) is
+/// `serde(skip)`.
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut it = group.stream().into_iter();
+    match it.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match it.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Parses the fields of a braced group: `attrs* vis? name: Type,`*.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut it = group.stream().into_iter().peekable();
+    loop {
+        let mut skip = false;
+        // Attributes.
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    if let Some(TokenTree::Group(g)) = it.next() {
+                        if attr_is_serde_skip(&g) {
+                            skip = true;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Visibility.
+        if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            it.next();
+            if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                it.next();
+            }
+        }
+        // Field name.
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected field name, found {other:?}"),
+        };
+        // Skip `:` then the type up to a top-level comma (tracking
+        // angle-bracket depth — generic arguments contain commas).
+        let mut angle: i32 = 0;
+        for t in it.by_ref() {
+            match &t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+/// Counts the fields of a parenthesized (tuple) group.
+fn count_tuple_fields(group: &proc_macro::Group) -> usize {
+    let mut angle: i32 = 0;
+    let mut commas = 0usize;
+    let mut any = false;
+    for t in group.stream() {
+        any = true;
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => commas += 1,
+            _ => {}
+        }
+    }
+    if !any {
+        return 0;
+    }
+    // A trailing comma would overcount; tuple structs in this workspace
+    // don't use one, but guard anyway by checking the last token.
+    let last_is_comma = group
+        .stream()
+        .into_iter()
+        .last()
+        .is_some_and(|t| matches!(&t, TokenTree::Punct(p) if p.as_char() == ','));
+    commas + usize::from(!last_is_comma)
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = group.stream().into_iter().peekable();
+    loop {
+        // Attributes (doc comments etc.).
+        loop {
+            match it.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    it.next();
+                    it.next(); // the [...] group
+                }
+                _ => break,
+            }
+        }
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde derive: expected variant name, found {other:?}"),
+        };
+        let kind = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g);
+                it.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g);
+                it.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Consume the separating comma, if any.
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut it = input.into_iter().peekable();
+    // Skip attributes and visibility until `struct` / `enum`.
+    let is_enum = loop {
+        match it.next() {
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => break false,
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => break true,
+            Some(_) => {}
+            None => panic!("serde derive: no struct/enum found"),
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic types are not supported");
+    }
+    let shape = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if is_enum {
+                Shape::Enum(parse_variants(&g))
+            } else {
+                Shape::Named(parse_named_fields(&g))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(&g))
+        }
+        other => panic!("serde derive: unexpected item body {other:?}"),
+    };
+    Item { name, shape }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut s = String::from(
+                "let mut m: ::std::vec::Vec<(::std::string::String, ::serde::Content)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "m.push((\"{0}\".to_string(), ::serde::Serialize::to_content(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Content::Map(m)");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::Content::Map(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_content(f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let pats: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let vals: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_content(f{i})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Content::Map(vec![(\"{vn}\".to_string(), ::serde::Content::Seq(vec![{}]))]),\n",
+                            pats.join(", "),
+                            vals.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let pats: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let vals: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "(\"{0}\".to_string(), ::serde::Serialize::to_content({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Content::Map(vec![(\"{vn}\".to_string(), ::serde::Content::Map(vec![{}]))]),\n",
+                            pats.join(", "),
+                            vals.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_content(&self) -> ::serde::Content {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!("{0}: ::serde::de_field(m, \"{0}\")?,\n", f.name));
+                }
+            }
+            format!(
+                "let m = c.as_map_slice().ok_or_else(|| ::serde::Error::custom(\"expected map for struct {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_content(c)?))")
+        }
+        Shape::Tuple(n) => {
+            let gets: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_content(&s[{i}])?"))
+                .collect();
+            format!(
+                "let s = c.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected array for tuple struct {name}\"))?;\n\
+                 if s.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong tuple length for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                gets.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(::serde::Deserialize::from_content(v)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let gets: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_content(&s[{i}])?")
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let s = v.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected array for variant {vn}\"))?;\n\
+                             if s.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong arity for variant {vn}\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n}}\n",
+                            gets.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            if f.skip {
+                                inits.push_str(&format!(
+                                    "{}: ::std::default::Default::default(),\n",
+                                    f.name
+                                ));
+                            } else {
+                                inits.push_str(&format!(
+                                    "{0}: ::serde::de_field(m2, \"{0}\")?,\n",
+                                    f.name
+                                ));
+                            }
+                        }
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let m2 = v.as_map_slice().ok_or_else(|| ::serde::Error::custom(\"expected map for variant {vn}\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{inits}}})\n}}\n",
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match c {{\n\
+                 ::serde::Content::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(&format!(\"unknown variant '{{other}}' for {name}\"))),\n}},\n\
+                 ::serde::Content::Map(m) if m.len() == 1 => {{\n\
+                 let (k, v) = &m[0];\n\
+                 let _ = v;\n\
+                 match k.as_str() {{\n{data_arms}\
+                 other => ::std::result::Result::Err(::serde::Error::custom(&format!(\"unknown variant '{{other}}' for {name}\"))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\"expected string or single-key map for enum {name}\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde derive: generated Serialize impl must parse")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde derive: generated Deserialize impl must parse")
+}
