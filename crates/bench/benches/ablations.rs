@@ -50,10 +50,7 @@ fn bench_partial_pade(c: &mut Criterion) {
                         amp.input,
                         amp.output,
                         &bindings,
-                        ModelOptions {
-                            order: 2,
-                            symbolic_moments: Some(k),
-                        },
+                        ModelOptions::order(2).with_symbolic_moments(k),
                     )
                     .unwrap(),
                 )

@@ -11,12 +11,11 @@ fn bench_lines(c: &mut Criterion) {
     let r0 = w.spec.rdrv;
     let c0 = w.spec.cload;
     let mut group = c.benchmark_group("lines_per_iteration");
-    let mut scratch = vec![0.0; w.crosstalk.scratch_len()];
-    let mut out = vec![0.0; 4];
+    let ev = w.crosstalk.evaluator();
+    let mut out = vec![0.0; ev.n_outputs()];
     group.bench_function("crosstalk_eval", |b| {
         b.iter(|| {
-            w.crosstalk
-                .eval_moments_into(black_box(&[r0 * 1.3, c0 * 0.7]), &mut scratch, &mut out);
+            ev.eval_into(black_box(&[r0 * 1.3, c0 * 0.7]), &mut out);
             black_box(out[1])
         })
     });

@@ -74,12 +74,11 @@ fn bench_tape(c: &mut Criterion) {
     let w = awesym_bench::opamp_workload(2).unwrap();
     let g0 = w.model.nominal()[0];
     let c0 = w.model.nominal()[1];
-    let mut scratch = vec![0.0; w.model.scratch_len()];
-    let mut out = vec![0.0; 4];
-    c.bench_function("tape_eval_opamp_113_ops", |b| {
+    let ev = w.model.evaluator();
+    let mut out = vec![0.0; ev.n_outputs()];
+    c.bench_function("tape_eval_opamp", |b| {
         b.iter(|| {
-            w.model
-                .eval_moments_into(black_box(&[g0, c0]), &mut scratch, &mut out);
+            ev.eval_into(black_box(&[g0, c0]), &mut out);
             black_box(out[0])
         })
     });

@@ -11,12 +11,11 @@ fn bench_table1(c: &mut Criterion) {
     let c0 = w.model.nominal()[1];
     let mut group = c.benchmark_group("table1_per_iteration");
 
-    let mut scratch = vec![0.0; w.model.scratch_len()];
-    let mut out = vec![0.0; 4];
+    let ev = w.model.evaluator();
+    let mut out = vec![0.0; ev.n_outputs()];
     group.bench_function("awesymbolic_eval", |b| {
         b.iter(|| {
-            w.model
-                .eval_moments_into(black_box(&[g0 * 1.1, c0 * 0.9]), &mut scratch, &mut out);
+            ev.eval_into(black_box(&[g0 * 1.1, c0 * 0.9]), &mut out);
             black_box(out[0])
         })
     });

@@ -282,11 +282,11 @@ fn table1(opamp: &OpAmpWorkload) {
             .collect()
     };
     // Incremental (per-iteration) costs.
-    let mut scratch = vec![0.0; opamp.model.scratch_len()];
-    let mut out = vec![0.0; 4];
+    let ev = opamp.model.evaluator();
+    let mut out = vec![0.0; ev.n_outputs()];
     let t_eval = time_median(5, || {
         for p in points(1000) {
-            opamp.model.eval_moments_into(&p, &mut scratch, &mut out);
+            ev.eval_into(&p, &mut out);
         }
     }) / 1000.0;
     let t_awe = time_median(3, || {
@@ -457,14 +457,12 @@ fn timings(opamp: &OpAmpWorkload, lines: &LinesWorkload) {
     // Op-amp.
     let g0 = opamp.model.nominal()[0];
     let c0 = opamp.model.nominal()[1];
-    let mut scratch = vec![0.0; opamp.model.scratch_len()];
-    let mut out = vec![0.0; 4];
+    let ev = opamp.model.evaluator();
+    let mut out = vec![0.0; ev.n_outputs()];
     let t_eval = time_median(5, || {
         for i in 0..1000 {
             let f = 0.5 + i as f64 / 1000.0;
-            opamp
-                .model
-                .eval_moments_into(&[g0 * f, c0 * f], &mut scratch, &mut out);
+            ev.eval_into(&[g0 * f, c0 * f], &mut out);
         }
     }) / 1000.0;
     let t_awe = time_median(3, || {
@@ -488,13 +486,12 @@ fn timings(opamp: &OpAmpWorkload, lines: &LinesWorkload) {
     // Lines.
     let r0 = lines.spec.rdrv;
     let cl0 = lines.spec.cload;
-    let mut scratch = vec![0.0; lines.crosstalk.scratch_len()];
+    let ev_l = lines.crosstalk.evaluator();
+    let mut out_l = vec![0.0; ev_l.n_outputs()];
     let t_eval_l = time_median(3, || {
         for i in 0..200 {
             let f = 0.5 + i as f64 / 200.0;
-            lines
-                .crosstalk
-                .eval_moments_into(&[r0 * f, cl0 * f], &mut scratch, &mut out);
+            ev_l.eval_into(&[r0 * f, cl0 * f], &mut out_l);
         }
     }) / 200.0;
     let t_awe_l = time_median(3, || {

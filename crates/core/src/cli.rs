@@ -6,7 +6,8 @@
 //! `src/bin/awesym.rs` is a thin wrapper.
 
 use crate::{
-    parse_spice, AweAnalysis, Circuit, CompiledModel, ElementId, ElementKind, Node, SymbolBinding,
+    parse_spice, AweAnalysis, Circuit, CompiledModel, ElementId, ElementKind, ModelOptions, Node,
+    OptLevel, SymbolBinding,
 };
 use std::fmt::Write as _;
 
@@ -45,9 +46,10 @@ USAGE:
   awesym lint  <netlist>
   awesym poles <netlist> --input <src> --output <node> [--order q]
   awesym sweep <netlist> --input <src> --output <node> --symbol <elem>[:role]...
-               [--order q] [--points n] [--span f]
+               [--order q] [--points n] [--span f] [--opt-level none|basic|full]
   awesym model <netlist> --input <src> --output <node> --symbol <elem>[:role]...
-               [--order q] [--out file.json | --out file.awesym]
+               [--order q] [--opt-level none|basic|full]
+               [--out file.json | --out file.awesym]
                (.awesym writes the versioned, checksummed artifact format)
   awesym eval  --model file.{json,awesym} --values v1,v2,...
   awesym serve [--capacity n]   newline-delimited-JSON request loop on
@@ -83,6 +85,7 @@ struct Opts {
     tstop: Option<f64>,
     dt: Option<f64>,
     capacity: usize,
+    opt_level: OptLevel,
 }
 
 fn parse_opts(args: &[&str]) -> Result<Opts, String> {
@@ -102,6 +105,7 @@ fn parse_opts(args: &[&str]) -> Result<Opts, String> {
         tstop: None,
         dt: None,
         capacity: awesym_serve::DEFAULT_CAPACITY,
+        opt_level: OptLevel::Full,
     };
     let mut it = args.iter().copied().peekable();
     while let Some(a) = it.next() {
@@ -160,6 +164,11 @@ fn parse_opts(args: &[&str]) -> Result<Opts, String> {
                 o.capacity = grab("--capacity")?
                     .parse()
                     .map_err(|e| format!("bad --capacity: {e}"))?
+            }
+            "--opt-level" => {
+                o.opt_level = grab("--opt-level")?
+                    .parse()
+                    .map_err(|e| format!("bad --opt-level: {e}"))?
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             path => {
@@ -257,13 +266,21 @@ fn cmd_sweep(args: &[&str]) -> Result<String, String> {
     let c = load_netlist(&o)?;
     let (input, output) = resolve_io(&c, &o)?;
     let bindings = resolve_symbols(&c, &o)?;
-    let model =
-        CompiledModel::build(&c, input, output, &bindings, o.order).map_err(|e| e.to_string())?;
+    let model = CompiledModel::build_with_options(
+        &c,
+        input,
+        output,
+        &bindings,
+        ModelOptions::order(o.order).with_opt_level(o.opt_level),
+    )
+    .map_err(|e| e.to_string())?;
     let mut out = format!(
-        "compiled model: {} symbols, order {}, {} tape ops\n",
+        "compiled model: {} symbols, order {}, {} tape ops ({} raw, opt {})\n",
         model.symbols().len(),
         model.order(),
-        model.op_count()
+        model.op_count(),
+        model.raw_op_count(),
+        model.opt_level()
     );
     let nominal = model.nominal().to_vec();
     let _ = writeln!(
@@ -300,13 +317,21 @@ fn cmd_model(args: &[&str]) -> Result<String, String> {
     let c = load_netlist(&o)?;
     let (input, output) = resolve_io(&c, &o)?;
     let bindings = resolve_symbols(&c, &o)?;
-    let model =
-        CompiledModel::build(&c, input, output, &bindings, o.order).map_err(|e| e.to_string())?;
+    let model = CompiledModel::build_with_options(
+        &c,
+        input,
+        output,
+        &bindings,
+        ModelOptions::order(o.order).with_opt_level(o.opt_level),
+    )
+    .map_err(|e| e.to_string())?;
     let mut out = format!(
-        "compiled {} symbols at order {} ({} tape ops)\n",
+        "compiled {} symbols at order {} ({} tape ops, {} raw, opt {})\n",
         model.symbols().len(),
         model.order(),
-        model.op_count()
+        model.op_count(),
+        model.raw_op_count(),
+        model.opt_level()
     );
     match &o.out {
         // A .awesym extension selects the versioned, checksummed artifact
@@ -358,10 +383,12 @@ fn cmd_eval(args: &[&str]) -> Result<String, String> {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "model: {} symbols, order {}, {} tape ops",
+        "model: {} symbols, order {}, {} tape ops ({} raw, opt {})",
         model.symbols().len(),
         model.order(),
-        model.op_count()
+        model.op_count(),
+        model.raw_op_count(),
+        model.opt_level()
     );
     let _ = writeln!(out, "moments: {:?}", model.eval_moments(&vals));
     let _ = writeln!(out, "dc gain: {:.6e}", rom.dc_gain());

@@ -71,7 +71,9 @@ pub use awesym_serve::{
     evaluate_batch, load_artifact, save_artifact, BatchOutput, ModelRegistry, PointValue,
     ServeError, Server,
 };
-pub use awesym_symbolic::{CompiledFn, ExprGraph, MPoly, Ratio, SymbolSet};
+pub use awesym_symbolic::{
+    AffineTail, CompileOptions, CompiledFn, Evaluator, ExprGraph, MPoly, OptLevel, Ratio, SymbolSet,
+};
 
 pub mod cli;
 
@@ -116,6 +118,7 @@ pub struct SymbolicAwe<'c> {
     bindings: Vec<SymbolBinding>,
     order: usize,
     symbolic_moments: Option<usize>,
+    opt_level: OptLevel,
 }
 
 impl<'c> SymbolicAwe<'c> {
@@ -129,6 +132,7 @@ impl<'c> SymbolicAwe<'c> {
             bindings: Vec::new(),
             order: 2,
             symbolic_moments: None,
+            opt_level: OptLevel::Full,
         }
     }
 
@@ -142,6 +146,12 @@ impl<'c> SymbolicAwe<'c> {
     /// the derivative-based Taylor tail (the paper's partial Padé).
     pub fn partial_pade(mut self, symbolic_moments: usize) -> Self {
         self.symbolic_moments = Some(symbolic_moments);
+        self
+    }
+
+    /// Sets the tape-optimization level (default [`OptLevel::Full`]).
+    pub fn opt_level(mut self, level: OptLevel) -> Self {
+        self.opt_level = level;
         self
     }
 
@@ -223,15 +233,16 @@ impl<'c> SymbolicAwe<'c> {
     ///
     /// See [`CompiledModel::build_with_options`].
     pub fn compile(self) -> Result<CompiledModel, PartitionError> {
+        let mut opts = ModelOptions::order(self.order).with_opt_level(self.opt_level);
+        if let Some(k) = self.symbolic_moments {
+            opts = opts.with_symbolic_moments(k);
+        }
         CompiledModel::build_with_options(
             self.circuit,
             self.input,
             self.output,
             &self.bindings,
-            awesym_partition::ModelOptions {
-                order: self.order,
-                symbolic_moments: self.symbolic_moments,
-            },
+            opts,
         )
     }
 }

@@ -59,6 +59,7 @@ mod model;
 mod symmoments;
 
 pub use assemble::{SymbolicSystem, MAX_PORTS};
+pub use awesym_symbolic::{AffineTail, Evaluator, OptLevel};
 pub use binding::{apply_symbol_values, SymbolBinding, SymbolRole};
 pub use error::PartitionError;
 pub use model::{CompiledModel, ModelOptions, SymbolicForms};

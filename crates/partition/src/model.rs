@@ -4,10 +4,25 @@ use crate::{PartitionError, SymbolBinding, SymbolicMoments, SymbolicSystem};
 use awesym_awe::{pade_rom, Rom};
 use awesym_circuit::{Circuit, ElementId, Node};
 use awesym_linalg::Complex64;
-use awesym_symbolic::{CompiledFn, ExprGraph, MPoly, Ratio, SymbolSet};
+use awesym_symbolic::{
+    AffineTail, CompileOptions, CompiledFn, Evaluator, ExprGraph, MPoly, OptLevel, Ratio, SymbolSet,
+};
 
 /// Options for [`CompiledModel::build_with_options`].
+///
+/// `#[non_exhaustive]` so future knobs don't break callers: construct
+/// with [`ModelOptions::order`] and chain `with_*` setters.
+///
+/// ```
+/// use awesym_partition::{ModelOptions, OptLevel};
+///
+/// let opts = ModelOptions::order(3)
+///     .with_symbolic_moments(2)
+///     .with_opt_level(OptLevel::Full);
+/// assert_eq!(opts.order, 3);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct ModelOptions {
     /// Approximation order `q` (the model matches `2q` moments).
     pub order: usize,
@@ -17,15 +32,32 @@ pub struct ModelOptions {
     /// derivatives", which trades far-from-nominal accuracy for a much
     /// cheaper symbolic computation. `None` keeps all `2q` symbolic.
     pub symbolic_moments: Option<usize>,
+    /// Tape-optimization level for the compiled moment function
+    /// (default [`OptLevel::Full`]).
+    pub opt_level: OptLevel,
 }
 
 impl ModelOptions {
-    /// Full symbolic model of the given order.
+    /// Full symbolic model of the given order, full tape optimization.
     pub fn order(order: usize) -> Self {
         ModelOptions {
             order,
             symbolic_moments: None,
+            opt_level: OptLevel::Full,
         }
+    }
+
+    /// Carries only the first `k` moments symbolically; the rest ride a
+    /// first-order Taylor tail.
+    pub fn with_symbolic_moments(mut self, k: usize) -> Self {
+        self.symbolic_moments = Some(k);
+        self
+    }
+
+    /// Sets the tape-optimization level.
+    pub fn with_opt_level(mut self, level: OptLevel) -> Self {
+        self.opt_level = level;
+        self
     }
 }
 
@@ -235,7 +267,7 @@ impl CompiledModel {
                 outputs.push(g.div(p_id, d_pow));
                 d_pow = g.mul(d_pow, d_id);
             }
-            let fun = g.compile(&outputs);
+            let fun = g.compile_with(&outputs, &CompileOptions::new().opt_level(opts.opt_level));
 
             let taylor = if k_sym < total {
                 let nominal = sys.nominal().to_vec();
@@ -283,14 +315,44 @@ impl CompiledModel {
     }
 
     /// Number of tape instructions (the compiled "reduced set of
-    /// operations").
+    /// operations") after optimization.
     pub fn op_count(&self) -> usize {
         self.fun.op_count()
+    }
+
+    /// Number of tape instructions the raw lowering emitted, before the
+    /// pass pipeline ran.
+    pub fn raw_op_count(&self) -> usize {
+        self.fun.raw_op_count()
+    }
+
+    /// The optimization level the tape was compiled at.
+    pub fn opt_level(&self) -> OptLevel {
+        self.fun.opt_level()
     }
 
     /// The retained symbolic forms.
     pub fn forms(&self) -> &SymbolicForms {
         &self.forms
+    }
+
+    /// An [`Evaluator`] over this model's tape (and Taylor tail, when the
+    /// model is partial-Padé) — the preferred evaluation API. Each call
+    /// builds a fresh evaluator with its own scratch; create one per
+    /// worker thread and reuse it across points. Its outputs are the `2q`
+    /// moments, identical to [`CompiledModel::eval_moments`].
+    pub fn evaluator(&self) -> Evaluator<'_> {
+        match &self.taylor {
+            None => self.fun.evaluator(),
+            Some(t) => {
+                debug_assert_eq!(t.k_start, self.fun.n_outputs());
+                self.fun.evaluator_with_tail(AffineTail::new(
+                    t.base.clone(),
+                    t.jac.clone(),
+                    t.nominal.clone(),
+                ))
+            }
+        }
     }
 
     /// Evaluates the `2q` moments at the given symbol values.
@@ -299,43 +361,30 @@ impl CompiledModel {
     ///
     /// Panics when `vals.len()` differs from the symbol count.
     pub fn eval_moments(&self, vals: &[f64]) -> Vec<f64> {
-        let mut m = self.fun.eval(vals);
-        if let Some(t) = &self.taylor {
-            for (i, (b, row)) in t.base.iter().zip(t.jac.iter()).enumerate() {
-                let mut v = *b;
-                for (s, (x, x0)) in vals.iter().zip(t.nominal.iter()).enumerate() {
-                    v += row[s] * (x - x0);
-                }
-                debug_assert_eq!(t.k_start + i, m.len());
-                m.push(v);
-            }
-        }
-        m
+        self.evaluator().eval(vals)
     }
 
-    /// Scratch length for [`CompiledModel::eval_moments_into`].
+    /// Scratch length for the deprecated
+    /// [`CompiledModel::eval_moments_into`]; [`Evaluator`] owns its
+    /// scratch.
+    #[deprecated(since = "0.2.0", note = "use `evaluator()`; it owns its scratch")]
     pub fn scratch_len(&self) -> usize {
-        self.fun.scratch_len()
+        self.fun.tape().n_regs()
     }
 
     /// Zero-allocation moment evaluation: `out` must hold `2q` values,
-    /// `scratch` at least [`CompiledModel::scratch_len`].
+    /// `scratch` at least the deprecated [`CompiledModel::scratch_len`].
     ///
     /// # Panics
     ///
     /// Panics on mismatched slice lengths.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `evaluator()` and `Evaluator::eval_into(vals, out)`"
+    )]
     pub fn eval_moments_into(&self, vals: &[f64], scratch: &mut [f64], out: &mut [f64]) {
-        let k_sym = self.fun.n_outputs();
-        self.fun.eval_into(vals, scratch, &mut out[..k_sym]);
-        if let Some(t) = &self.taylor {
-            for (i, (b, row)) in t.base.iter().zip(t.jac.iter()).enumerate() {
-                let mut v = *b;
-                for (s, (x, x0)) in vals.iter().zip(t.nominal.iter()).enumerate() {
-                    v += row[s] * (x - x0);
-                }
-                out[t.k_start + i] = v;
-            }
-        }
+        let _ = scratch;
+        self.evaluator().eval_into(vals, out);
     }
 
     /// Full reduced-order model at the given symbol values (the final AWE
@@ -348,7 +397,23 @@ impl CompiledModel {
     /// Returns [`PartitionError::Awe`] when no stable model exists at any
     /// order down to 1.
     pub fn rom(&self, vals: &[f64]) -> Result<Rom, PartitionError> {
-        let m = self.eval_moments(vals);
+        self.rom_from_moments(&self.eval_moments(vals))
+    }
+
+    /// As [`CompiledModel::rom`], but from already-evaluated moments —
+    /// lets batch paths that need both moments and a ROM replay the tape
+    /// once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::Awe`] when no stable model exists at any
+    /// order down to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m.len() < 2 * self.order()`.
+    pub fn rom_from_moments(&self, m: &[f64]) -> Result<Rom, PartitionError> {
+        assert!(m.len() >= 2 * self.order, "need 2q moments");
         let mut last = None;
         for q in (1..=self.order).rev() {
             match pade_rom(&m[..2 * q], q, true) {
@@ -554,11 +619,73 @@ mod tests {
         let (_, model) = fig1_model(2);
         let vals = [2e-9, 750.0];
         let m1 = model.eval_moments(&vals);
-        let mut scratch = vec![0.0; model.scratch_len()];
-        let mut out = vec![0.0; 4];
-        model.eval_moments_into(&vals, &mut scratch, &mut out);
+        let ev = model.evaluator();
+        let mut out = vec![0.0; ev.n_outputs()];
+        ev.eval_into(&vals, &mut out);
         assert_eq!(m1, out);
         assert_eq!(m1.len(), 4);
+        // The deprecated wrapper still answers identically.
+        #[allow(deprecated)]
+        {
+            let mut scratch = vec![0.0; model.scratch_len()];
+            let mut legacy = vec![0.0; 4];
+            model.eval_moments_into(&vals, &mut scratch, &mut legacy);
+            assert_eq!(m1, legacy);
+        }
+        // Batch agrees with per-point, tail rows included.
+        let points = vec![vec![2e-9, 750.0], vec![1e-9, 2e3], vec![3e-9, 500.0]];
+        let mut batch = vec![0.0; points.len() * 4];
+        ev.eval_batch(&points, &mut batch);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(&batch[i * 4..(i + 1) * 4], &model.eval_moments(p)[..]);
+        }
+    }
+
+    #[test]
+    fn rom_from_moments_matches_rom() {
+        let (_, model) = fig1_model(2);
+        let vals = [2e-9, 750.0];
+        let m = model.eval_moments(&vals);
+        let a = model.rom(&vals).unwrap();
+        let b = model.rom_from_moments(&m).unwrap();
+        assert_eq!(a.poles(), b.poles());
+    }
+
+    #[test]
+    fn opt_level_none_agrees_with_full() {
+        let w = fig1_rc(1e-3, 2e-3, 1e-9, 3e-9);
+        let c = &w.circuit;
+        let bindings = [
+            SymbolBinding::capacitance("c1", vec![c.find("C1").unwrap()]),
+            SymbolBinding::resistance("r2", vec![c.find("R2").unwrap()]),
+        ];
+        let full = CompiledModel::build_with_options(
+            c,
+            w.input,
+            w.output,
+            &bindings,
+            ModelOptions::order(2),
+        )
+        .unwrap();
+        let raw = CompiledModel::build_with_options(
+            c,
+            w.input,
+            w.output,
+            &bindings,
+            ModelOptions::order(2).with_opt_level(OptLevel::None),
+        )
+        .unwrap();
+        assert_eq!(raw.opt_level(), OptLevel::None);
+        assert_eq!(full.opt_level(), OptLevel::Full);
+        assert_eq!(raw.op_count(), full.raw_op_count());
+        assert!(full.op_count() < raw.op_count());
+        for vals in [[1e-9, 500.0], [4e-9, 3e3], [0.1e-9, 100.0]] {
+            let a = full.eval_moments(&vals);
+            let b = raw.eval_moments(&vals);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() <= 1e-12 * y.abs().max(1e-300), "{x} vs {y}");
+            }
+        }
     }
 
     #[test]
@@ -611,10 +738,7 @@ mod tests {
             w.input,
             w.output,
             &bindings,
-            ModelOptions {
-                order: 2,
-                symbolic_moments: Some(2),
-            },
+            ModelOptions::order(2).with_symbolic_moments(2),
         )
         .unwrap();
         let nominal = [1e-9];
@@ -649,10 +773,7 @@ mod tests {
                 w.input,
                 w.output,
                 &bindings,
-                ModelOptions {
-                    order: 2,
-                    symbolic_moments: Some(bad),
-                },
+                ModelOptions::order(2).with_symbolic_moments(bad),
             );
             assert!(matches!(r, Err(PartitionError::BadBinding { .. })), "{bad}");
         }
@@ -679,10 +800,7 @@ mod tests {
             w.input,
             w.output,
             &bindings,
-            ModelOptions {
-                order: 2,
-                symbolic_moments: Some(2),
-            },
+            ModelOptions::order(2).with_symbolic_moments(2),
         )
         .unwrap();
         let err_tight = partial

@@ -63,10 +63,7 @@ fn multi_output_with_taylor_tail() {
         lines.input,
         &probes,
         &bindings,
-        ModelOptions {
-            order: 2,
-            symbolic_moments: Some(2),
-        },
+        ModelOptions::order(2).with_symbolic_moments(2),
     )
     .unwrap();
     // At nominal the Taylor tails are exact per output.

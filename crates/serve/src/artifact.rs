@@ -7,6 +7,8 @@
 //! {
 //!   "format": "awesym-model",
 //!   "version": 1,
+//!   "minor": 1,
+//!   "opt_level": "full",
 //!   "checksum": "fnv1a64:0123456789abcdef",
 //!   "payload": "<the CompiledModel JSON, as one string>"
 //! }
@@ -17,6 +19,11 @@
 //! float re-formatting. Loading validates the format tag, the version,
 //! and the checksum before touching the payload, and returns a typed
 //! [`ServeError`] (never panics) on any mismatch.
+//!
+//! Versioning is major/minor: only an unknown *major* (`version`) is a
+//! typed error; a newer minor from a future build still loads, and
+//! minor-0 artifacts (which predate the `minor`/`opt_level` fields and
+//! the tape optimizer) load with those fields defaulted.
 
 use crate::ServeError;
 use awesym_partition::CompiledModel;
@@ -26,9 +33,14 @@ use std::path::Path;
 /// Format tag stored in every artifact.
 pub const FORMAT_TAG: &str = "awesym-model";
 
-/// Artifact format version written (and the only one accepted) by this
-/// build.
+/// Artifact format major version written by this build; loading rejects
+/// any other major.
 pub const FORMAT_VERSION: u32 = 1;
+
+/// Artifact format minor version written by this build. Minor 1 added
+/// the `minor` and `opt_level` envelope fields (and optimized-tape
+/// payloads); loaders accept any minor within the supported major.
+pub const FORMAT_MINOR: u32 = 1;
 
 /// 64-bit FNV-1a over the payload bytes.
 fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -57,6 +69,11 @@ pub fn to_artifact_string(model: &CompiledModel) -> Result<String, ServeError> {
     let envelope = Content::Map(vec![
         ("format".into(), Content::Str(FORMAT_TAG.into())),
         ("version".into(), Content::U64(u64::from(FORMAT_VERSION))),
+        ("minor".into(), Content::U64(u64::from(FORMAT_MINOR))),
+        (
+            "opt_level".into(),
+            Content::Str(model.opt_level().as_str().into()),
+        ),
         ("checksum".into(), Content::Str(checksum(&payload))),
         ("payload".into(), Content::Str(payload)),
     ]);
@@ -71,9 +88,10 @@ pub fn to_artifact_string(model: &CompiledModel) -> Result<String, ServeError> {
 /// # Errors
 ///
 /// [`ServeError::BadFormat`] for malformed JSON or a missing/wrong format
-/// tag, [`ServeError::VersionMismatch`] for any version other than
-/// [`FORMAT_VERSION`], [`ServeError::ChecksumMismatch`] when the payload
-/// bytes do not hash to the recorded checksum.
+/// tag, [`ServeError::VersionMismatch`] for any *major* version other
+/// than [`FORMAT_VERSION`] (a missing or newer `minor` is accepted),
+/// [`ServeError::ChecksumMismatch`] when the payload bytes do not hash to
+/// the recorded checksum.
 pub fn from_artifact_str(text: &str) -> Result<CompiledModel, ServeError> {
     let envelope: Content = serde_json::from_str(text).map_err(|e| ServeError::BadFormat {
         what: format!("not JSON: {e}"),
@@ -101,6 +119,8 @@ pub fn from_artifact_str(text: &str) -> Result<CompiledModel, ServeError> {
             supported: FORMAT_VERSION,
         });
     }
+    // Minor versions are additive: absent (minor-0 artifacts predate the
+    // field) or newer minors are both fine within a supported major.
     let recorded = envelope
         .get("checksum")
         .and_then(Content::as_str)

@@ -3,12 +3,15 @@
 //! A compiled model's evaluation is a pure function of the symbol values
 //! (a flat tape replay plus a tiny Padé solve), so fanning a batch of
 //! points across threads is embarrassingly parallel: each worker owns a
-//! disjoint slice of the result vector and a private scratch buffer, and
-//! the shared model is only read. Results always come back in input
-//! order, and a bad point (wrong arity, unstable ROM, …) yields a
-//! per-point error instead of aborting the batch.
+//! disjoint slice of the result vector and a private
+//! [`Evaluator`](awesym_partition::Evaluator) (which carries its own
+//! scratch), and the shared model is only read. Results always come back
+//! in input order, and a bad point (wrong arity, unstable ROM, …) yields
+//! a per-point error instead of aborting the batch. Moment-only batches
+//! additionally take the blocked SoA `eval_batch` kernel — one tape walk
+//! per block of points instead of per point.
 
-use awesym_partition::CompiledModel;
+use awesym_partition::{CompiledModel, Evaluator};
 
 /// What to compute for each point of a batch.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,8 +94,8 @@ pub enum PointValue {
 /// One point's outcome: a value or a point-local error message.
 pub type PointResult = Result<PointValue, String>;
 
-fn rom_summary(model: &CompiledModel, vals: &[f64]) -> Result<RomSummary, String> {
-    let rom = model.rom(vals).map_err(|e| e.to_string())?;
+fn rom_summary(model: &CompiledModel, moments: &[f64]) -> Result<RomSummary, String> {
+    let rom = model.rom_from_moments(moments).map_err(|e| e.to_string())?;
     Ok(RomSummary {
         poles_re: rom.poles().iter().map(|p| p.re).collect(),
         poles_im: rom.poles().iter().map(|p| p.im).collect(),
@@ -104,35 +107,61 @@ fn rom_summary(model: &CompiledModel, vals: &[f64]) -> Result<RomSummary, String
     })
 }
 
-/// Evaluates one point using caller-provided scratch space. `scratch`
-/// must hold [`CompiledModel::scratch_len`] values and `moments` `2q`.
+/// Evaluates one point through a worker's [`Evaluator`]; `moments` is the
+/// worker's reused `2q` output buffer.
 fn eval_point(
     model: &CompiledModel,
+    ev: &Evaluator<'_>,
     vals: &[f64],
     output: &BatchOutput,
-    scratch: &mut [f64],
     moments: &mut [f64],
 ) -> PointResult {
-    let n_sym = model.symbols().len();
+    let n_sym = ev.n_inputs();
     if vals.len() != n_sym {
         return Err(format!(
             "point has {} values, model has {n_sym} symbols",
             vals.len()
         ));
     }
-    // Single tape replay into the reused buffer covers every output kind.
-    model.eval_moments_into(vals, scratch, moments);
+    // Single tape replay covers every output kind — the ROM paths reuse
+    // the already-evaluated moments instead of replaying the tape again.
+    ev.eval_into(vals, moments);
     match output {
         BatchOutput::Moments => Ok(PointValue::Moments(moments.to_vec())),
         BatchOutput::DcGain => Ok(PointValue::DcGain(moments[0])),
-        BatchOutput::Rom => rom_summary(model, vals).map(PointValue::Rom),
+        BatchOutput::Rom => rom_summary(model, moments).map(PointValue::Rom),
         BatchOutput::Step { times } => {
-            let rom = model.rom(vals).map_err(|e| e.to_string())?;
+            let rom = model.rom_from_moments(moments).map_err(|e| e.to_string())?;
             Ok(PointValue::Step(rom.step_response_series(times)))
         }
         BatchOutput::Delays => awesym_awe::delay_estimates(moments)
             .map(|d| PointValue::Delays(d.into()))
             .map_err(|e| e.to_string()),
+    }
+}
+
+/// Evaluates one worker's chunk. Moment-only chunks whose points all have
+/// the right arity go through the SoA batch kernel in one call; anything
+/// else falls back to the per-point path.
+fn eval_chunk(
+    model: &CompiledModel,
+    points: &[Vec<f64>],
+    output: &BatchOutput,
+    slots: &mut [Option<PointResult>],
+) {
+    let ev = model.evaluator();
+    let n_m = ev.n_outputs();
+    if matches!(output, BatchOutput::Moments) && points.iter().all(|p| p.len() == ev.n_inputs()) {
+        let mut flat = vec![0.0; points.len() * n_m];
+        ev.eval_batch(points, &mut flat);
+        for (slot, row) in slots.iter_mut().zip(flat.chunks_exact(n_m)) {
+            *slot = Some(Ok(PointValue::Moments(row.to_vec())));
+        }
+        return;
+    }
+    let mut moments = vec![0.0; n_m];
+    for (slot, point) in slots.iter_mut().zip(points) {
+        *slot = Some(eval_point(model, &ev, point, output, &mut moments));
     }
 }
 
@@ -164,22 +193,12 @@ pub fn evaluate_batch(
     let chunk = n.div_ceil(workers);
 
     if workers == 1 {
-        // Serial fast path: no thread spawn, same per-point code.
-        let mut scratch = vec![0.0; model.scratch_len()];
-        let mut moments = vec![0.0; 2 * model.order()];
-        for (slot, point) in results.iter_mut().zip(points) {
-            *slot = Some(eval_point(model, point, output, &mut scratch, &mut moments));
-        }
+        // Serial fast path: no thread spawn, same chunk code.
+        eval_chunk(model, points, output, &mut results);
     } else {
         std::thread::scope(|s| {
             for (out_chunk, in_chunk) in results.chunks_mut(chunk).zip(points.chunks(chunk)) {
-                s.spawn(move || {
-                    let mut scratch = vec![0.0; model.scratch_len()];
-                    let mut moments = vec![0.0; 2 * model.order()];
-                    for (slot, point) in out_chunk.iter_mut().zip(in_chunk) {
-                        *slot = Some(eval_point(model, point, output, &mut scratch, &mut moments));
-                    }
-                });
+                s.spawn(move || eval_chunk(model, in_chunk, output, out_chunk));
             }
         });
     }

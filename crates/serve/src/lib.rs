@@ -25,8 +25,8 @@ pub mod server;
 pub mod stats;
 
 pub use artifact::{
-    from_artifact_str, load_artifact, load_model_file, save_artifact, to_artifact_string,
-    FORMAT_TAG, FORMAT_VERSION,
+    checksum, from_artifact_str, load_artifact, load_model_file, save_artifact, to_artifact_string,
+    FORMAT_MINOR, FORMAT_TAG, FORMAT_VERSION,
 };
 pub use batch::{evaluate_batch, BatchOutput, DelaySummary, PointResult, PointValue, RomSummary};
 pub use error::ServeError;

@@ -145,6 +145,11 @@ fn model_summary(name: &str, model: &CompiledModel) -> Vec<(&'static str, Conten
         ),
         ("order", Content::U64(model.order() as u64)),
         ("op_count", Content::U64(model.op_count() as u64)),
+        ("raw_op_count", Content::U64(model.raw_op_count() as u64)),
+        (
+            "opt_level",
+            Content::Str(model.opt_level().as_str().to_string()),
+        ),
     ]
 }
 

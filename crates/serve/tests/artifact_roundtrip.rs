@@ -131,6 +131,80 @@ fn wrong_version_is_rejected() {
     }
 }
 
+/// Reconstructs the minor-0 artifact encoding: no `minor`/`opt_level`
+/// envelope fields, and a payload whose tape carries only `ops` (implicit
+/// `dst[i] = i`, no `n_regs`/`raw_ops`/`opt_level`) — the format written
+/// before the tape optimizer existed. Such artifacts must still load.
+#[test]
+fn legacy_minor0_artifact_still_loads() {
+    use serde::Content;
+
+    // An unoptimized model has an SSA tape, so stripping the new fields
+    // yields exactly what the old serializer wrote.
+    let (_, w, bindings) = cases().remove(0);
+    let model = CompiledModel::build_with_options(
+        &w.circuit,
+        w.input,
+        w.output,
+        &bindings,
+        awesym_partition::ModelOptions::order(2).with_opt_level(awesym_partition::OptLevel::None),
+    )
+    .unwrap();
+
+    fn strip(c: Content, drop: &[&str]) -> Content {
+        match c {
+            Content::Map(entries) => Content::Map(
+                entries
+                    .into_iter()
+                    .filter(|(k, _)| !drop.contains(&k.as_str()))
+                    .map(|(k, v)| (k, strip(v, drop)))
+                    .collect(),
+            ),
+            Content::Seq(items) => {
+                Content::Seq(items.into_iter().map(|v| strip(v, drop)).collect())
+            }
+            other => other,
+        }
+    }
+
+    let payload_content: Content =
+        serde_json::from_str(&serde_json::to_string(&model).unwrap()).unwrap();
+    let legacy_payload = serde_json::to_string(&strip(
+        payload_content,
+        &["dst", "n_regs", "raw_ops", "opt_level"],
+    ))
+    .unwrap();
+    let envelope = Content::Map(vec![
+        ("format".into(), Content::Str("awesym-model".into())),
+        ("version".into(), Content::U64(1)),
+        (
+            "checksum".into(),
+            Content::Str(awesym_serve::checksum(&legacy_payload)),
+        ),
+        ("payload".into(), Content::Str(legacy_payload)),
+    ]);
+    let legacy_text = serde_json::to_string(&envelope).unwrap();
+    assert!(!legacy_text.contains("minor"));
+
+    let back = from_artifact_str(&legacy_text).unwrap();
+    assert_eq!(back.opt_level(), awesym_partition::OptLevel::None);
+    for vals in probe_points(&model) {
+        assert_eq!(back.eval_moments(&vals), model.eval_moments(&vals));
+    }
+    // A future minor within the same major is also accepted…
+    let future_minor = legacy_text.replace("\"version\":1", "\"version\":1,\"minor\":99");
+    assert!(from_artifact_str(&future_minor).is_ok());
+    // …but a different major stays a typed error.
+    let major2 = legacy_text.replace("\"version\":1", "\"version\":2");
+    assert!(matches!(
+        from_artifact_str(&major2),
+        Err(ServeError::VersionMismatch {
+            found: 2,
+            supported: 1
+        })
+    ));
+}
+
 #[test]
 fn garbage_and_missing_fields_are_bad_format() {
     for bad in [

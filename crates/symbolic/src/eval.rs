@@ -1,0 +1,341 @@
+//! The unified evaluation surface for compiled tapes.
+//!
+//! [`Evaluator`] owns its scratch register file (the old API threaded
+//! `scratch_len`/`regs` through every call site) and adds a blocked
+//! structure-of-arrays batch kernel: [`Evaluator::eval_batch`] walks the
+//! tape once per block of [`LANES`] points, keeping each instruction's
+//! operands hot across the whole block so the compiler can autovectorize
+//! the inner lane loop.
+
+use crate::CompiledFn;
+use std::cell::RefCell;
+
+/// Points per SoA block in [`Evaluator::eval_batch`].
+pub const LANES: usize = 8;
+
+/// An affine extension appended after the tape outputs:
+/// `row_i = base[i] + Σ_j jac[i][j] · (x[j] − x0[j])`.
+///
+/// This is how a partial-Padé model's Taylor tail (first-order moment
+/// sensitivities around the nominal point) rides along with the compiled
+/// symbolic moments in a single [`Evaluator`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffineTail {
+    base: Vec<f64>,
+    jac: Vec<Vec<f64>>,
+    x0: Vec<f64>,
+}
+
+impl AffineTail {
+    /// Builds a tail of `base.len()` rows over `x0.len()` inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `jac` is not `base.len()` rows of `x0.len()` columns.
+    pub fn new(base: Vec<f64>, jac: Vec<Vec<f64>>, x0: Vec<f64>) -> Self {
+        assert_eq!(jac.len(), base.len(), "jacobian row count mismatch");
+        for row in &jac {
+            assert_eq!(row.len(), x0.len(), "jacobian column count mismatch");
+        }
+        AffineTail { base, jac, x0 }
+    }
+
+    /// Number of appended rows.
+    pub fn rows(&self) -> usize {
+        self.base.len()
+    }
+
+    #[inline]
+    fn eval_row(&self, i: usize, vals: &[f64]) -> f64 {
+        let mut acc = self.base[i];
+        for ((&j, &x), &x0) in self.jac[i].iter().zip(vals).zip(&self.x0) {
+            acc += j * (x - x0);
+        }
+        acc
+    }
+}
+
+/// A reusable evaluation context for a [`CompiledFn`] — the preferred way
+/// to evaluate compiled models.
+///
+/// The evaluator owns its register file, so evaluation takes `&self` and
+/// allocates nothing per point. It is `Send` but not `Sync`: create one
+/// per worker thread (they are cheap — one `Vec` of `n_regs` doubles).
+///
+/// ```
+/// use awesym_symbolic::ExprGraph;
+///
+/// let mut g = ExprGraph::new(2);
+/// let (x, y) = (g.sym(0), g.sym(1));
+/// let e = g.mul(x, y);
+/// let f = g.compile(&[e]);
+/// let ev = f.evaluator();
+/// let mut out = [0.0];
+/// ev.eval_into(&[3.0, 4.0], &mut out);
+/// assert_eq!(out[0], 12.0);
+/// ```
+#[derive(Debug)]
+pub struct Evaluator<'m> {
+    fun: &'m CompiledFn,
+    tail: Option<AffineTail>,
+    scratch: RefCell<Vec<f64>>,
+}
+
+impl<'m> Evaluator<'m> {
+    pub(crate) fn new(fun: &'m CompiledFn, tail: Option<AffineTail>) -> Self {
+        if let Some(t) = &tail {
+            assert_eq!(t.x0.len(), fun.n_syms(), "affine tail input arity mismatch");
+        }
+        Evaluator {
+            fun,
+            tail,
+            scratch: RefCell::new(vec![0.0; fun.tape().n_regs()]),
+        }
+    }
+
+    /// Number of input symbols.
+    pub fn n_inputs(&self) -> usize {
+        self.fun.n_syms()
+    }
+
+    /// Number of outputs per point (tape outputs plus tail rows).
+    pub fn n_outputs(&self) -> usize {
+        self.fun.n_outputs() + self.tail.as_ref().map_or(0, AffineTail::rows)
+    }
+
+    /// Evaluates one point into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `vals.len() != self.n_inputs()` or
+    /// `out.len() != self.n_outputs()`.
+    pub fn eval_into(&self, vals: &[f64], out: &mut [f64]) {
+        assert_eq!(vals.len(), self.n_inputs(), "value vector length mismatch");
+        assert_eq!(out.len(), self.n_outputs(), "output slice length mismatch");
+        let mut regs = self.scratch.borrow_mut();
+        self.fun.tape().replay(vals, &mut regs);
+        let k = self.fun.n_outputs();
+        for (o, &r) in out[..k].iter_mut().zip(self.fun.output_regs()) {
+            *o = regs[r as usize];
+        }
+        if let Some(t) = &self.tail {
+            for (i, o) in out[k..].iter_mut().enumerate() {
+                *o = t.eval_row(i, vals);
+            }
+        }
+    }
+
+    /// Evaluates one point, allocating the result vector.
+    pub fn eval(&self, vals: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.n_outputs()];
+        self.eval_into(vals, &mut out);
+        out
+    }
+
+    /// Evaluates a batch of points into row-major `out`
+    /// (`points.len() × self.n_outputs()`).
+    ///
+    /// Full blocks of [`LANES`] points run through the tape in SoA layout
+    /// — one instruction dispatch per block instead of per point; the
+    /// remainder falls back to the single-point path. Results are
+    /// bit-identical to per-point [`Evaluator::eval_into`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when a point has the wrong arity or `out` is not
+    /// `points.len() * self.n_outputs()` long.
+    pub fn eval_batch(&self, points: &[Vec<f64>], out: &mut [f64]) {
+        let n_in = self.n_inputs();
+        let n_out = self.n_outputs();
+        assert_eq!(
+            out.len(),
+            points.len() * n_out,
+            "output slice length mismatch"
+        );
+        for p in points {
+            assert_eq!(p.len(), n_in, "value vector length mismatch");
+        }
+        let tape = self.fun.tape();
+        let k = self.fun.n_outputs();
+        let full = points.len() / LANES * LANES;
+        if full > 0 {
+            let mut xb = vec![0.0; n_in.max(1) * LANES];
+            let mut regs = vec![0.0; tape.n_regs().max(1) * LANES];
+            for p0 in (0..full).step_by(LANES) {
+                for (lane, p) in points[p0..p0 + LANES].iter().enumerate() {
+                    for (s, &x) in p.iter().enumerate() {
+                        xb[s * LANES + lane] = x;
+                    }
+                }
+                replay_block(tape, &xb, &mut regs);
+                for lane in 0..LANES {
+                    let row = &mut out[(p0 + lane) * n_out..(p0 + lane + 1) * n_out];
+                    for (o, &r) in row[..k].iter_mut().zip(self.fun.output_regs()) {
+                        *o = regs[r as usize * LANES + lane];
+                    }
+                    if let Some(t) = &self.tail {
+                        for (i, o) in row[k..].iter_mut().enumerate() {
+                            *o = t.eval_row(i, &points[p0 + lane]);
+                        }
+                    }
+                }
+            }
+        }
+        for (p, row) in points[full..]
+            .iter()
+            .zip(out[full * n_out..].chunks_exact_mut(n_out))
+        {
+            self.eval_into(p, row);
+        }
+    }
+}
+
+/// Replays the tape over [`LANES`] points at once. Registers live in SoA
+/// layout: lane `l` of register `r` is `regs[r*LANES + l]`. Operands are
+/// copied to stack arrays before the lane loop so each arm is a
+/// straight-line, bounds-check-free map the compiler can vectorize.
+fn replay_block(tape: &crate::Tape, xb: &[f64], regs: &mut [f64]) {
+    use crate::TapeOp;
+    let lane = |v: u32| v as usize * LANES;
+    for (op, &d) in tape.ops().iter().zip(tape.dst()) {
+        let db = lane(d);
+        let dv: [f64; LANES] = match *op {
+            TapeOp::Const(c) => [c; LANES],
+            TapeOp::Sym(s) => xb[lane(s)..lane(s) + LANES].try_into().unwrap(),
+            TapeOp::Add(a, b) => {
+                let va: [f64; LANES] = regs[lane(a)..lane(a) + LANES].try_into().unwrap();
+                let vb: [f64; LANES] = regs[lane(b)..lane(b) + LANES].try_into().unwrap();
+                std::array::from_fn(|l| va[l] + vb[l])
+            }
+            TapeOp::Sub(a, b) => {
+                let va: [f64; LANES] = regs[lane(a)..lane(a) + LANES].try_into().unwrap();
+                let vb: [f64; LANES] = regs[lane(b)..lane(b) + LANES].try_into().unwrap();
+                std::array::from_fn(|l| va[l] - vb[l])
+            }
+            TapeOp::Mul(a, b) => {
+                let va: [f64; LANES] = regs[lane(a)..lane(a) + LANES].try_into().unwrap();
+                let vb: [f64; LANES] = regs[lane(b)..lane(b) + LANES].try_into().unwrap();
+                std::array::from_fn(|l| va[l] * vb[l])
+            }
+            TapeOp::Div(a, b) => {
+                let va: [f64; LANES] = regs[lane(a)..lane(a) + LANES].try_into().unwrap();
+                let vb: [f64; LANES] = regs[lane(b)..lane(b) + LANES].try_into().unwrap();
+                std::array::from_fn(|l| va[l] / vb[l])
+            }
+            TapeOp::Neg(a) => {
+                let va: [f64; LANES] = regs[lane(a)..lane(a) + LANES].try_into().unwrap();
+                std::array::from_fn(|l| -va[l])
+            }
+            TapeOp::Sqrt(a) => {
+                let va: [f64; LANES] = regs[lane(a)..lane(a) + LANES].try_into().unwrap();
+                std::array::from_fn(|l| va[l].sqrt())
+            }
+            TapeOp::MulAdd(a, b, c) => {
+                let va: [f64; LANES] = regs[lane(a)..lane(a) + LANES].try_into().unwrap();
+                let vb: [f64; LANES] = regs[lane(b)..lane(b) + LANES].try_into().unwrap();
+                let vc: [f64; LANES] = regs[lane(c)..lane(c) + LANES].try_into().unwrap();
+                // Same `a*b + c` rounding as the scalar path, so batch and
+                // single-point results are bit-identical.
+                std::array::from_fn(|l| va[l] * vb[l] + vc[l])
+            }
+        };
+        regs[db..db + LANES].copy_from_slice(&dv);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExprGraph;
+
+    fn demo_fn() -> CompiledFn {
+        let mut g = ExprGraph::new(3);
+        let x = g.sym(0);
+        let y = g.sym(1);
+        let z = g.sym(2);
+        let xy = g.mul(x, y);
+        let s = g.add(xy, z);
+        let d = g.sub(s, y);
+        let q = g.div(d, z);
+        let r = g.sqrt(q);
+        g.compile(&[s, d, q, r])
+    }
+
+    #[test]
+    fn evaluator_matches_eval() {
+        let f = demo_fn();
+        let ev = f.evaluator();
+        assert_eq!(ev.n_inputs(), 3);
+        assert_eq!(ev.n_outputs(), 4);
+        for vals in [[1.0, 2.0, 3.0], [0.5, -1.5, 2.0], [4.0, 0.25, 1.0]] {
+            assert_eq!(ev.eval(&vals), f.eval(&vals));
+        }
+    }
+
+    #[test]
+    fn eval_batch_bit_identical_to_single_point() {
+        let f = demo_fn();
+        let ev = f.evaluator();
+        // 21 points: two full SoA blocks + a 5-point remainder.
+        let points: Vec<Vec<f64>> = (0..21)
+            .map(|i| {
+                let t = i as f64;
+                vec![0.1 + 0.3 * t, 1.0 + 0.05 * t * t, 2.0 + (t * 0.7).sin()]
+            })
+            .collect();
+        let n_out = ev.n_outputs();
+        let mut batch = vec![0.0; points.len() * n_out];
+        ev.eval_batch(&points, &mut batch);
+        for (i, p) in points.iter().enumerate() {
+            let single = ev.eval(p);
+            assert_eq!(&batch[i * n_out..(i + 1) * n_out], &single[..], "point {i}");
+        }
+    }
+
+    #[test]
+    fn affine_tail_rows_appended() {
+        let mut g = ExprGraph::new(2);
+        let x = g.sym(0);
+        let y = g.sym(1);
+        let e = g.mul(x, y);
+        let f = g.compile(&[e]);
+        let tail = AffineTail::new(
+            vec![10.0, -1.0],
+            vec![vec![1.0, 0.0], vec![2.0, -3.0]],
+            vec![1.0, 1.0],
+        );
+        let ev = f.evaluator_with_tail(tail);
+        assert_eq!(ev.n_outputs(), 3);
+        let out = ev.eval(&[2.0, 5.0]);
+        assert_eq!(out[0], 10.0); // x·y
+        assert_eq!(out[1], 11.0); // 10 + 1·(2−1)
+        assert_eq!(out[2], -11.0); // −1 + 2·(2−1) − 3·(5−1)
+                                   // Batch path agrees, including tail rows.
+        let points: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let mut batch = vec![0.0; points.len() * 3];
+        ev.eval_batch(&points, &mut batch);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(&batch[i * 3..i * 3 + 3], &ev.eval(p)[..]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "value vector length mismatch")]
+    fn wrong_arity_panics() {
+        let f = demo_fn();
+        let ev = f.evaluator();
+        let mut out = vec![0.0; ev.n_outputs()];
+        ev.eval_into(&[1.0], &mut out);
+    }
+
+    #[test]
+    fn send_across_threads() {
+        let f = demo_fn();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let ev = f.evaluator();
+                assert_eq!(ev.eval(&[1.0, 2.0, 3.0]), f.eval(&[1.0, 2.0, 3.0]));
+            });
+        });
+    }
+}

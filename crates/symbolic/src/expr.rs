@@ -5,8 +5,14 @@
 //! a flat register program; each subsequent evaluation at concrete symbol
 //! values replays the tape — a handful of multiply-adds instead of a full
 //! circuit analysis.
+//!
+//! Compilation runs the [`crate::opt`] pass pipeline by default (constant
+//! folding, CSE, neg/sub and mul-add fusion, dead-op elimination, and
+//! liveness-based register reuse); [`CompileOptions`] is the escape hatch
+//! for inspecting the raw lowering.
 
-use crate::MPoly;
+use crate::opt::{self, CompileOptions, OptLevel};
+use crate::{AffineTail, Evaluator, MPoly};
 use std::collections::HashMap;
 
 /// Handle to a node of an [`ExprGraph`].
@@ -246,8 +252,30 @@ impl ExprGraph {
         v
     }
 
-    /// Compiles the subgraph reachable from `outputs` into a flat tape.
+    /// Compiles the subgraph reachable from `outputs` into a flat tape,
+    /// running the full optimizing pass pipeline ([`OptLevel::Full`]).
     pub fn compile(&self, outputs: &[ExprId]) -> CompiledFn {
+        self.compile_with(outputs, &CompileOptions::new())
+    }
+
+    /// Compiles with explicit [`CompileOptions`] — the escape hatch for
+    /// inspecting the raw lowering or ablating individual pass levels.
+    pub fn compile_with(&self, outputs: &[ExprId], options: &CompileOptions) -> CompiledFn {
+        let (ops, outs) = self.lower(outputs);
+        let raw_ops = ops.len();
+        let (tape, outs) = opt::optimize(ops, outs, options.opt_level);
+        CompiledFn {
+            tape,
+            outputs: outs,
+            n_syms: self.n_syms,
+            raw_ops,
+            opt_level: options.opt_level,
+        }
+    }
+
+    /// Lowers the subgraph reachable from `outputs` into SSA tape ops
+    /// (each op's destination is its own index).
+    fn lower(&self, outputs: &[ExprId]) -> (Vec<TapeOp>, Vec<u32>) {
         // Mark reachable nodes.
         let mut needed = vec![false; self.nodes.len()];
         let mut stack: Vec<ExprId> = outputs.to_vec();
@@ -288,11 +316,7 @@ impl ExprGraph {
             ops.push(op);
         }
         let outs = outputs.iter().map(|o| reg_of[o.0 as usize]).collect();
-        CompiledFn {
-            tape: Tape { ops },
-            outputs: outs,
-            n_syms: self.n_syms,
-        }
+        (ops, outs)
     }
 }
 
@@ -305,6 +329,8 @@ pub enum TapeOp {
     Sym(u32),
     /// `r[a] + r[b]`.
     Add(u32, u32),
+    /// `r[a] − r[b]` (neg/sub fusion).
+    Sub(u32, u32),
     /// `r[a] · r[b]`.
     Mul(u32, u32),
     /// `r[a] / r[b]`.
@@ -313,15 +339,30 @@ pub enum TapeOp {
     Neg(u32),
     /// `√r[a]`.
     Sqrt(u32),
+    /// `r[a] · r[b] + r[c]` (mul-add fusion).
+    MulAdd(u32, u32, u32),
 }
 
 /// A flat register program.
-#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+///
+/// Instruction `i` writes register `dst[i]`; liveness-based register
+/// allocation lets destinations be reused, so the register file
+/// (`n_regs`) is typically much smaller than the instruction count.
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Tape {
     ops: Vec<TapeOp>,
+    dst: Vec<u32>,
+    n_regs: u32,
 }
 
 impl Tape {
+    /// Assembles a tape from parts (crate-internal; used by the pass
+    /// pipeline).
+    pub(crate) fn from_parts(ops: Vec<TapeOp>, dst: Vec<u32>, n_regs: u32) -> Self {
+        debug_assert_eq!(ops.len(), dst.len());
+        Tape { ops, dst, n_regs }
+    }
+
     /// Number of instructions.
     pub fn len(&self) -> usize {
         self.ops.len()
@@ -331,17 +372,90 @@ impl Tape {
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
     }
+
+    /// The instructions.
+    pub fn ops(&self) -> &[TapeOp] {
+        &self.ops
+    }
+
+    /// Destination register of each instruction.
+    pub fn dst(&self) -> &[u32] {
+        &self.dst
+    }
+
+    /// Size of the register file the tape runs in.
+    pub fn n_regs(&self) -> usize {
+        self.n_regs as usize
+    }
+
+    /// Replays the tape over a register file (`regs.len() >= n_regs`).
+    #[inline]
+    pub(crate) fn replay(&self, vals: &[f64], regs: &mut [f64]) {
+        for (op, &d) in self.ops.iter().zip(&self.dst) {
+            regs[d as usize] = match *op {
+                TapeOp::Const(c) => c,
+                TapeOp::Sym(s) => vals[s as usize],
+                TapeOp::Add(a, b) => regs[a as usize] + regs[b as usize],
+                TapeOp::Sub(a, b) => regs[a as usize] - regs[b as usize],
+                TapeOp::Mul(a, b) => regs[a as usize] * regs[b as usize],
+                TapeOp::Div(a, b) => regs[a as usize] / regs[b as usize],
+                TapeOp::Neg(a) => -regs[a as usize],
+                TapeOp::Sqrt(a) => regs[a as usize].sqrt(),
+                TapeOp::MulAdd(a, b, c) => regs[a as usize] * regs[b as usize] + regs[c as usize],
+            };
+        }
+    }
+}
+
+// Hand-written serde: pre-optimizer artifacts carry only `ops` (with the
+// implicit destination `dst[i] = i`), and the vendored serde derive has no
+// `#[serde(default)]`, so missing `dst`/`n_regs` fields must fall back
+// here for backward-compatible loading.
+impl serde::Serialize for Tape {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            ("ops".to_string(), self.ops.to_content()),
+            ("dst".to_string(), self.dst.to_content()),
+            ("n_regs".to_string(), self.n_regs.to_content()),
+        ])
+    }
+}
+
+impl serde::Deserialize for Tape {
+    fn from_content(c: &serde::Content) -> Result<Self, serde::Error> {
+        let m = c
+            .as_map_slice()
+            .ok_or_else(|| serde::Error::custom("expected map for struct Tape"))?;
+        let ops: Vec<TapeOp> = serde::de_field(m, "ops")?;
+        let dst: Vec<u32> = match c.get("dst") {
+            Some(v) => serde::Deserialize::from_content(v)?,
+            None => (0..ops.len() as u32).collect(),
+        };
+        if dst.len() != ops.len() {
+            return Err(serde::Error::custom("tape dst/ops length mismatch"));
+        }
+        let n_regs: u32 = match c.get("n_regs") {
+            Some(v) => serde::Deserialize::from_content(v)?,
+            None => ops.len() as u32,
+        };
+        if dst.iter().any(|&d| d >= n_regs.max(1)) && !ops.is_empty() {
+            return Err(serde::Error::custom("tape dst out of register range"));
+        }
+        Ok(Tape { ops, dst, n_regs })
+    }
 }
 
 /// A compiled multi-output function of the symbols.
 ///
 /// Produced by [`ExprGraph::compile`]; serializable with serde so compiled
 /// models can be stored and reloaded.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompiledFn {
     tape: Tape,
     outputs: Vec<u32>,
     n_syms: usize,
+    raw_ops: usize,
+    opt_level: OptLevel,
 }
 
 impl CompiledFn {
@@ -355,10 +469,43 @@ impl CompiledFn {
         self.outputs.len()
     }
 
-    /// Number of tape instructions (the paper's "reduced set of
-    /// operations").
+    /// Number of tape instructions after optimization (the paper's
+    /// "reduced set of operations").
     pub fn op_count(&self) -> usize {
         self.tape.len()
+    }
+
+    /// Number of tape instructions the raw lowering emitted, before the
+    /// pass pipeline ran.
+    pub fn raw_op_count(&self) -> usize {
+        self.raw_ops
+    }
+
+    /// The optimization level the tape was compiled at.
+    pub fn opt_level(&self) -> OptLevel {
+        self.opt_level
+    }
+
+    /// The underlying tape.
+    pub fn tape(&self) -> &Tape {
+        &self.tape
+    }
+
+    /// Registers holding each output after a replay.
+    pub(crate) fn output_regs(&self) -> &[u32] {
+        &self.outputs
+    }
+
+    /// An [`Evaluator`] with its own scratch space — the preferred
+    /// evaluation API.
+    pub fn evaluator(&self) -> Evaluator<'_> {
+        Evaluator::new(self, None)
+    }
+
+    /// An [`Evaluator`] that appends affine tail outputs (e.g. the
+    /// partial-Padé Taylor extension) after the tape outputs.
+    pub fn evaluator_with_tail(&self, tail: AffineTail) -> Evaluator<'_> {
+        Evaluator::new(self, Some(tail))
     }
 
     /// Evaluates the tape, allocating the result vector.
@@ -367,41 +514,80 @@ impl CompiledFn {
     ///
     /// Panics when `vals.len() != self.n_syms()`.
     pub fn eval(&self, vals: &[f64]) -> Vec<f64> {
-        let mut regs = vec![0.0; self.tape.len()];
-        let mut out = vec![0.0; self.outputs.len()];
-        self.eval_into(vals, &mut regs, &mut out);
-        out
+        assert_eq!(vals.len(), self.n_syms, "value vector length mismatch");
+        let mut regs = vec![0.0; self.tape.n_regs()];
+        self.tape.replay(vals, &mut regs);
+        self.outputs.iter().map(|&r| regs[r as usize]).collect()
     }
 
-    /// Evaluates into caller-provided scratch space (zero allocation —
-    /// this is the per-iteration fast path the paper times).
+    /// Evaluates into caller-provided scratch space.
     ///
     /// # Panics
     ///
     /// Panics when slice lengths do not match the compiled shapes.
+    #[deprecated(since = "0.2.0", note = "use `evaluator()` and `Evaluator::eval_into`")]
     pub fn eval_into(&self, vals: &[f64], regs: &mut [f64], out: &mut [f64]) {
         assert_eq!(vals.len(), self.n_syms, "value vector length mismatch");
-        assert!(regs.len() >= self.tape.len(), "scratch too small");
+        assert!(regs.len() >= self.tape.n_regs(), "scratch too small");
         assert_eq!(out.len(), self.outputs.len(), "output slice mismatch");
-        for (i, op) in self.tape.ops.iter().enumerate() {
-            regs[i] = match *op {
-                TapeOp::Const(c) => c,
-                TapeOp::Sym(s) => vals[s as usize],
-                TapeOp::Add(a, b) => regs[a as usize] + regs[b as usize],
-                TapeOp::Mul(a, b) => regs[a as usize] * regs[b as usize],
-                TapeOp::Div(a, b) => regs[a as usize] / regs[b as usize],
-                TapeOp::Neg(a) => -regs[a as usize],
-                TapeOp::Sqrt(a) => regs[a as usize].sqrt(),
-            };
-        }
+        self.tape.replay(vals, regs);
         for (o, &r) in out.iter_mut().zip(self.outputs.iter()) {
             *o = regs[r as usize];
         }
     }
 
-    /// Required scratch length for [`CompiledFn::eval_into`].
+    /// Required scratch length for the deprecated
+    /// [`CompiledFn::eval_into`]; [`Evaluator`] manages this internally.
+    #[deprecated(since = "0.2.0", note = "use `evaluator()`; it owns its scratch")]
     pub fn scratch_len(&self) -> usize {
-        self.tape.len()
+        self.tape.n_regs()
+    }
+}
+
+// Hand-written serde: `raw_ops` and `opt_level` are absent from
+// pre-optimizer payloads and default to the unoptimized reading.
+impl serde::Serialize for CompiledFn {
+    fn to_content(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            ("tape".to_string(), self.tape.to_content()),
+            ("outputs".to_string(), self.outputs.to_content()),
+            ("n_syms".to_string(), self.n_syms.to_content()),
+            ("raw_ops".to_string(), self.raw_ops.to_content()),
+            ("opt_level".to_string(), self.opt_level.to_content()),
+        ])
+    }
+}
+
+impl serde::Deserialize for CompiledFn {
+    fn from_content(c: &serde::Content) -> Result<Self, serde::Error> {
+        let m = c
+            .as_map_slice()
+            .ok_or_else(|| serde::Error::custom("expected map for struct CompiledFn"))?;
+        let tape: Tape = serde::de_field(m, "tape")?;
+        let outputs: Vec<u32> = serde::de_field(m, "outputs")?;
+        let n_syms: usize = serde::de_field(m, "n_syms")?;
+        if outputs
+            .iter()
+            .any(|&r| (r as usize) >= tape.n_regs().max(1))
+            && !tape.is_empty()
+        {
+            return Err(serde::Error::custom("output register out of range"));
+        }
+        let raw_ops: usize = match c.get("raw_ops") {
+            Some(v) => serde::Deserialize::from_content(v)?,
+            None => tape.len(),
+        };
+        let opt_level: OptLevel = match c.get("opt_level") {
+            Some(v) => serde::Deserialize::from_content(v)?,
+            None => OptLevel::None,
+        };
+        Ok(CompiledFn {
+            tape,
+            outputs,
+            n_syms,
+            raw_ops,
+            opt_level,
+        })
     }
 }
 
@@ -506,14 +692,44 @@ mod tests {
     }
 
     #[test]
-    fn eval_into_zero_alloc_path() {
+    fn compile_with_levels_agree() {
+        let mut g = ExprGraph::new(2);
+        let x = g.sym(0);
+        let y = g.sym(1);
+        let xy = g.mul(x, y);
+        let nxy = g.neg(xy);
+        let s = g.add(nxy, y);
+        let q = g.div(s, x);
+        for level in [OptLevel::None, OptLevel::Basic, OptLevel::Full] {
+            let f = g.compile_with(&[s, q], &CompileOptions::new().opt_level(level));
+            assert_eq!(f.opt_level(), level);
+            let out = f.eval(&[2.0, 3.0]);
+            assert_eq!(out[0], -3.0);
+            assert_eq!(out[1], -1.5);
+        }
+        let raw = g.compile_with(&[s, q], &CompileOptions::new().opt_level(OptLevel::None));
+        let full = g.compile(&[s, q]);
+        assert_eq!(full.raw_op_count(), raw.op_count());
+        assert!(full.op_count() <= raw.op_count());
+    }
+
+    #[test]
+    fn eval_into_wrapper_still_works() {
         let mut g = ExprGraph::new(1);
         let x = g.sym(0);
         let e = g.mul(x, x);
         let f = g.compile(&[e]);
-        let mut regs = vec![0.0; f.scratch_len()];
+        #[allow(deprecated)]
+        {
+            let mut regs = vec![0.0; f.scratch_len()];
+            let mut out = vec![0.0; 1];
+            f.eval_into(&[3.0], &mut regs, &mut out);
+            assert_eq!(out[0], 9.0);
+        }
+        // The replacement path.
+        let ev = f.evaluator();
         let mut out = vec![0.0; 1];
-        f.eval_into(&[3.0], &mut regs, &mut out);
+        ev.eval_into(&[3.0], &mut out);
         assert_eq!(out[0], 9.0);
     }
 
@@ -528,6 +744,19 @@ mod tests {
         let back: CompiledFn = serde_json::from_str(&json).unwrap();
         assert_eq!(back.eval(&[6.0, 3.0])[0], 2.0);
         assert_eq!(back, f);
+    }
+
+    #[test]
+    fn serde_reads_pre_optimizer_payloads() {
+        // The legacy encoding: no dst / n_regs / raw_ops / opt_level —
+        // destinations are implicit (`dst[i] = i`).
+        let legacy =
+            r#"{"tape":{"ops":[{"Sym":0},{"Sym":1},{"Div":[0,1]}]},"outputs":[2],"n_syms":2}"#;
+        let f: CompiledFn = serde_json::from_str(legacy).unwrap();
+        assert_eq!(f.eval(&[6.0, 3.0])[0], 2.0);
+        assert_eq!(f.op_count(), 3);
+        assert_eq!(f.raw_op_count(), 3);
+        assert_eq!(f.opt_level(), OptLevel::None);
     }
 
     #[test]

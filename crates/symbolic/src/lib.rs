@@ -17,7 +17,12 @@
 //!   folding and common-subexpression elimination that *compiles* symbolic
 //!   forms into a flat register program. Evaluating the tape at given
 //!   symbol values is the paper's "compiled set of operations" whose
-//!   incremental cost is orders of magnitude below a full AWE analysis.
+//!   incremental cost is orders of magnitude below a full AWE analysis;
+//! - [`opt`] — the optimizing pass pipeline (constant folding, CSE,
+//!   neg/sub and mul-add fusion, dead-op elimination, register reuse)
+//!   that [`ExprGraph::compile`] runs by default;
+//! - [`Evaluator`] — the unified evaluation surface: owned scratch,
+//!   single-point `eval_into`, and a blocked SoA `eval_batch` kernel.
 //!
 //! # Example
 //!
@@ -36,14 +41,18 @@
 
 #![forbid(unsafe_code)]
 
+mod eval;
 mod expr;
 mod mpoly;
+pub mod opt;
 mod ratio;
 mod smat;
 mod symbols;
 
+pub use eval::{AffineTail, Evaluator, LANES};
 pub use expr::{CompiledFn, ExprGraph, ExprId, Tape, TapeOp};
 pub use mpoly::MPoly;
+pub use opt::{CompileOptions, OptLevel};
 pub use ratio::Ratio;
 pub use smat::SMat;
 pub use symbols::{Sym, SymbolSet};

@@ -73,12 +73,12 @@ fn main() -> Result<(), PartitionError> {
 
     // Per-iteration cost on this 5000-element circuit.
     let n = 100;
-    let mut scratch = vec![0.0; xtalk.scratch_len()];
-    let mut out = vec![0.0; 4];
+    let ev = xtalk.evaluator();
+    let mut out = vec![0.0; ev.n_outputs()];
     let t0 = Instant::now();
     for i in 0..n {
         let f = 0.5 + (i as f64) / n as f64;
-        xtalk.eval_moments_into(&[spec.rdrv * f, spec.cload * f], &mut scratch, &mut out);
+        ev.eval_into(&[spec.rdrv * f, spec.cload * f], &mut out);
     }
     let t_sym = t0.elapsed().as_secs_f64() / n as f64;
     let t0 = Instant::now();

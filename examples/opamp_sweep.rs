@@ -61,12 +61,12 @@ fn main() -> Result<(), PartitionError> {
     // Per-iteration cost: compiled evaluation vs full AWE re-analysis.
     println!("\nPer-iteration cost (paper reports ~330x on a DECstation):");
     let n = 200;
-    let mut scratch = vec![0.0; model.scratch_len()];
-    let mut out = vec![0.0; 2 * model.order()];
+    let ev = model.evaluator();
+    let mut out = vec![0.0; ev.n_outputs()];
     let t0 = Instant::now();
     for i in 0..n {
         let f = 0.5 + (i as f64) / n as f64;
-        model.eval_moments_into(&[g_nom * f, c_nom * f], &mut scratch, &mut out);
+        ev.eval_into(&[g_nom * f, c_nom * f], &mut out);
     }
     let t_sym = t0.elapsed().as_secs_f64() / n as f64;
     let t0 = Instant::now();

@@ -16,4 +16,7 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> tape optimizer smoke (op-count, agreement, and throughput gates)"
+cargo run --release -p awesym-bench --bin tape_bench -- --smoke
+
 echo "==> CI green"

@@ -2,8 +2,104 @@
 //! invariants.
 
 use awesymbolic::prelude::*;
-use awesymbolic::{MPoly, Poly, SymbolSet};
+use awesymbolic::{MPoly, ModelOptions, OptLevel, Poly, SymbolSet};
 use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// Every bundled example netlist compiled at [`OptLevel::None`] and
+/// [`OptLevel::Full`], built once and shared across property cases.
+fn optimizer_pairs() -> &'static [(&'static str, CompiledModel, CompiledModel)] {
+    static PAIRS: OnceLock<Vec<(&'static str, CompiledModel, CompiledModel)>> = OnceLock::new();
+    PAIRS.get_or_init(|| {
+        let mut pairs = Vec::new();
+
+        let w = generators::fig1_rc(1e-3, 2e-3, 1e-9, 3e-9);
+        let bindings = [
+            SymbolBinding::capacitance("c1", vec![w.circuit.find("C1").unwrap()]),
+            SymbolBinding::resistance("r2", vec![w.circuit.find("R2").unwrap()]),
+        ];
+        let build = |level| {
+            CompiledModel::build_with_options(
+                &w.circuit,
+                w.input,
+                w.output,
+                &bindings,
+                ModelOptions::order(2).with_opt_level(level),
+            )
+            .unwrap()
+        };
+        pairs.push(("fig1_rc", build(OptLevel::None), build(OptLevel::Full)));
+
+        let amp = generators::opamp741();
+        let bindings = [
+            SymbolBinding::conductance("g_out_q14", vec![amp.ro_q14]),
+            SymbolBinding::capacitance("c_comp", vec![amp.c_comp]),
+        ];
+        let build = |level| {
+            CompiledModel::build_with_options(
+                &amp.circuit,
+                amp.input,
+                amp.output,
+                &bindings,
+                ModelOptions::order(2).with_opt_level(level),
+            )
+            .unwrap()
+        };
+        pairs.push(("opamp741", build(OptLevel::None), build(OptLevel::Full)));
+
+        let spec = generators::CoupledLineSpec {
+            segments: 40,
+            ..Default::default()
+        };
+        let lines = generators::coupled_lines(&spec);
+        let bindings = [
+            SymbolBinding::resistance("rdrv", lines.rdrv.to_vec()),
+            SymbolBinding::capacitance("cload", lines.cload.to_vec()),
+        ];
+        let build = |level| {
+            CompiledModel::build_with_options(
+                &lines.circuit,
+                lines.input,
+                lines.victim_out,
+                &bindings,
+                ModelOptions::order(2).with_opt_level(level),
+            )
+            .unwrap()
+        };
+        pairs.push((
+            "coupled_lines_40seg",
+            build(OptLevel::None),
+            build(OptLevel::Full),
+        ));
+
+        pairs
+    })
+}
+
+/// Golden op counts for the bundled netlists: the raw (unoptimized) tape
+/// size, and the size after the full pass pipeline. These pin the
+/// optimizer's output — an unintentional regression in folding, CSE,
+/// fusion, or DCE changes one of these numbers.
+#[test]
+fn golden_op_counts() {
+    let expected = [
+        ("fig1_rc", 62, 46),
+        ("opamp741", 113, 86),
+        ("coupled_lines_40seg", 157, 118),
+    ];
+    for ((name, raw, opt), (ename, eraw, eopt)) in optimizer_pairs().iter().zip(expected) {
+        assert_eq!(*name, ename);
+        assert_eq!(raw.op_count(), eraw, "{name}: raw op count drifted");
+        assert_eq!(opt.op_count(), eopt, "{name}: optimized op count drifted");
+        assert_eq!(opt.raw_op_count(), eraw, "{name}: raw_op_count mismatch");
+        let reduction = 1.0 - eopt as f64 / eraw as f64;
+        assert!(
+            reduction >= 0.20,
+            "{name}: optimizer cut only {:.1}% (< 20%)",
+            100.0 * reduction
+        );
+    }
+}
 
 fn small_coeffs() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-10.0..10.0f64, 1..6)
@@ -127,6 +223,31 @@ proptest! {
         let m_sym = model.eval_moments(&vals);
         for (a, b) in m_sym.iter().zip(m_ref.iter()) {
             prop_assert!((a - b).abs() < 1e-8 * b.abs().max(1e-30), "{a} vs {b}");
+        }
+    }
+
+    /// Optimizer soundness: on every bundled example netlist, the fully
+    /// optimized tape and the unoptimized tape agree to 1e-12 relative at
+    /// random symbol values. The pass pipeline only applies IEEE-safe
+    /// rewrites, so the paths should in fact be bit-close; 1e-12 leaves
+    /// headroom for the one reassociation fusion performs (a·b then +c).
+    #[test]
+    fn optimized_tape_matches_unoptimized(s0 in 0.2..5.0f64, s1 in 0.2..5.0f64) {
+        for (name, raw, opt) in optimizer_pairs() {
+            let vals: Vec<f64> = raw
+                .nominal()
+                .iter()
+                .zip([s0, s1])
+                .map(|(&n, s)| n * s)
+                .collect();
+            let a = raw.eval_moments(&vals);
+            let b = opt.eval_moments(&vals);
+            for (k, (x, y)) in a.iter().zip(&b).enumerate() {
+                prop_assert!(
+                    (x - y).abs() <= 1e-12 * x.abs().max(1e-300),
+                    "{name} m{k}: {x} vs {y}"
+                );
+            }
         }
     }
 
