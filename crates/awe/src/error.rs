@@ -27,6 +27,13 @@ pub enum AweError {
     },
     /// The transfer function is identically zero (no input-output coupling).
     ZeroResponse,
+    /// A quantity that must be finite (a moment, pole, or residue) came
+    /// out NaN or infinite — the numeric health signal the serving layer
+    /// degrades on.
+    NonFinite {
+        /// Which quantity was non-finite.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for AweError {
@@ -40,6 +47,7 @@ impl fmt::Display for AweError {
                 write!(f, "need {needed} moments, only {got} available")
             }
             AweError::ZeroResponse => write!(f, "transfer function is identically zero"),
+            AweError::NonFinite { what } => write!(f, "non-finite {what}"),
         }
     }
 }

@@ -35,6 +35,9 @@ pub fn pade_rom(moments: &[f64], q: usize, scale: bool) -> Result<Rom, AweError>
             got: moments.len(),
         });
     }
+    if moments.iter().any(|m| !m.is_finite()) {
+        return Err(AweError::NonFinite { what: "moments" });
+    }
     if moments.iter().all(|&m| m == 0.0) {
         return Err(AweError::ZeroResponse);
     }
@@ -74,6 +77,18 @@ pub fn pade_rom(moments: &[f64], q: usize, scale: bool) -> Result<Rom, AweError>
         .map_err(|source| AweError::Pade { order: q, source })?;
     let poles: Vec<Complex64> = scaled_poles.iter().map(|&p| p / tau).collect();
     let residues: Vec<Complex64> = scaled_res.iter().map(|&k| k / tau).collect();
+    // A near-singular Hankel/Vandermonde solve that slips past the exact
+    // singularity checks surfaces as Inf/NaN here; reject it as a typed
+    // health failure rather than returning a poisoned model.
+    if poles.iter().any(|p| !p.re.is_finite() || !p.im.is_finite()) {
+        return Err(AweError::NonFinite { what: "poles" });
+    }
+    if residues
+        .iter()
+        .any(|k| !k.re.is_finite() || !k.im.is_finite())
+    {
+        return Err(AweError::NonFinite { what: "residues" });
+    }
     Ok(Rom::from_parts(poles, residues, moments.to_vec(), tau))
 }
 
@@ -149,6 +164,16 @@ mod tests {
             pade_rom(&[1.0, -1.0], 2, true),
             Err(AweError::NotEnoughMoments { needed: 4, got: 2 })
         ));
+    }
+
+    #[test]
+    fn non_finite_moments_are_an_error() {
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                pade_rom(&[1.0, bad, 1.0, -1.0], 2, true),
+                Err(AweError::NonFinite { what: "moments" })
+            ));
+        }
     }
 
     #[test]

@@ -52,9 +52,11 @@ USAGE:
                [--out file.json | --out file.awesym]
                (.awesym writes the versioned, checksummed artifact format)
   awesym eval  --model file.{json,awesym} --values v1,v2,...
-  awesym serve [--capacity n]   newline-delimited-JSON request loop on
-               stdin/stdout: load, compile, save, eval, batch, stats,
-               shutdown (see docs/serving.md)
+  awesym serve [--capacity n] [--deadline-ms t] [--max-batch n]
+               [--max-inflight n]
+               newline-delimited-JSON request loop on stdin/stdout: load,
+               compile, save, eval, batch, stats, shutdown (see
+               docs/serving.md; limits in docs/robustness.md)
   awesym op        <netlist>     DC operating point (supports D/Q cards)
   awesym linearize <netlist> [--out small.sp]
                                  bias + emit the small-signal netlist
@@ -86,6 +88,9 @@ struct Opts {
     dt: Option<f64>,
     capacity: usize,
     opt_level: OptLevel,
+    deadline_ms: Option<u64>,
+    max_batch: Option<usize>,
+    max_inflight: Option<usize>,
 }
 
 fn parse_opts(args: &[&str]) -> Result<Opts, String> {
@@ -106,6 +111,9 @@ fn parse_opts(args: &[&str]) -> Result<Opts, String> {
         dt: None,
         capacity: awesym_serve::DEFAULT_CAPACITY,
         opt_level: OptLevel::Full,
+        deadline_ms: None,
+        max_batch: None,
+        max_inflight: None,
     };
     let mut it = args.iter().copied().peekable();
     while let Some(a) = it.next() {
@@ -164,6 +172,27 @@ fn parse_opts(args: &[&str]) -> Result<Opts, String> {
                 o.capacity = grab("--capacity")?
                     .parse()
                     .map_err(|e| format!("bad --capacity: {e}"))?
+            }
+            "--deadline-ms" => {
+                o.deadline_ms = Some(
+                    grab("--deadline-ms")?
+                        .parse()
+                        .map_err(|e| format!("bad --deadline-ms: {e}"))?,
+                )
+            }
+            "--max-batch" => {
+                o.max_batch = Some(
+                    grab("--max-batch")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-batch: {e}"))?,
+                )
+            }
+            "--max-inflight" => {
+                o.max_inflight = Some(
+                    grab("--max-inflight")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-inflight: {e}"))?,
+                )
             }
             "--opt-level" => {
                 o.opt_level = grab("--opt-level")?
@@ -406,7 +435,14 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
     if let Some(extra) = &o.netlist {
         return Err(format!("serve takes no positional argument '{extra}'"));
     }
-    let server = awesym_serve::Server::new(o.capacity);
+    let defaults = awesym_serve::ServerConfig::default();
+    let server = awesym_serve::Server::with_config(awesym_serve::ServerConfig {
+        capacity: o.capacity,
+        deadline_ms: o.deadline_ms,
+        max_batch_points: o.max_batch.unwrap_or(defaults.max_batch_points),
+        max_inflight: o.max_inflight.unwrap_or(defaults.max_inflight),
+        ..defaults
+    });
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     server
@@ -656,6 +692,14 @@ mod tests {
         assert!(run(&["serve", "extra.sp"])
             .unwrap_err()
             .contains("no positional"));
+        for (flag, msg) in [
+            ("--deadline-ms", "bad --deadline-ms"),
+            ("--max-batch", "bad --max-batch"),
+            ("--max-inflight", "bad --max-inflight"),
+        ] {
+            assert!(run(&["serve", flag, "x"]).unwrap_err().contains(msg));
+            assert!(run(&["serve", flag]).unwrap_err().contains("missing value"));
+        }
         assert!(run(&["help"]).unwrap().contains("serve"));
     }
 

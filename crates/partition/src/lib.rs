@@ -62,5 +62,5 @@ pub use assemble::{SymbolicSystem, MAX_PORTS};
 pub use awesym_symbolic::{AffineTail, Evaluator, OptLevel};
 pub use binding::{apply_symbol_values, SymbolBinding, SymbolRole};
 pub use error::PartitionError;
-pub use model::{CompiledModel, ModelOptions, SymbolicForms};
+pub use model::{CompiledModel, Degradation, ModelOptions, SymbolicForms};
 pub use symmoments::SymbolicMoments;

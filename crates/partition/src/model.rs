@@ -61,6 +61,20 @@ impl ModelOptions {
     }
 }
 
+/// Record of a numeric-health fallback taken while building a ROM: the
+/// requested order was rejected (unstable poles, singular Hankel solve,
+/// non-finite fit) and a lower order was served instead. Serialized into
+/// responses so clients can tell a degraded answer from a healthy one.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Degradation {
+    /// The order the model was built for.
+    pub from_order: usize,
+    /// The order actually served.
+    pub to_order: usize,
+    /// Why the requested order was rejected.
+    pub reason: String,
+}
+
 /// First-order Taylor extension for the trailing moments.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 struct TaylorTail {
@@ -336,6 +350,41 @@ impl CompiledModel {
         &self.forms
     }
 
+    /// Checks every numeric quantity baked into the model — nominal
+    /// values, tape constants, and the Taylor tail — for NaN/Inf. A model
+    /// deserialized from a corrupted artifact can carry non-finite
+    /// coefficients (JSON renders NaN as `null`, which round-trips back to
+    /// NaN) that would poison every evaluation; loaders call this to
+    /// reject such models up front.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first non-finite quantity found.
+    pub fn validate_numerics(&self) -> Result<(), String> {
+        let check = |vals: &[f64], what: &str| -> Result<(), String> {
+            match vals.iter().position(|v| !v.is_finite()) {
+                Some(i) => Err(format!("non-finite {what} at index {i}")),
+                None => Ok(()),
+            }
+        };
+        check(&self.nominal, "nominal value")?;
+        for (i, op) in self.fun.tape().ops().iter().enumerate() {
+            if let awesym_symbolic::TapeOp::Const(c) = op {
+                if !c.is_finite() {
+                    return Err(format!("non-finite tape constant at op {i}"));
+                }
+            }
+        }
+        if let Some(t) = &self.taylor {
+            check(&t.base, "taylor base moment")?;
+            check(&t.nominal, "taylor nominal value")?;
+            for row in &t.jac {
+                check(row, "taylor jacobian entry")?;
+            }
+        }
+        Ok(())
+    }
+
     /// An [`Evaluator`] over this model's tape (and Taylor tail, when the
     /// model is partial-Padé) — the preferred evaluation API. Each call
     /// builds a fresh evaluator with its own scratch; create one per
@@ -413,19 +462,74 @@ impl CompiledModel {
     ///
     /// Panics when `m.len() < 2 * self.order()`.
     pub fn rom_from_moments(&self, m: &[f64]) -> Result<Rom, PartitionError> {
+        self.rom_degraded_from_moments(m).map(|(rom, _)| rom)
+    }
+
+    /// As [`CompiledModel::rom_from_moments`], but additionally reports
+    /// *which* numeric-health fallback fired: when the exact-order Padé is
+    /// rejected (unstable poles, a singular/near-singular Hankel solve, a
+    /// non-finite fit) and a lower order q−1, q−2, … is served instead,
+    /// the returned [`Degradation`] names the requested order, the served
+    /// order, and the reason. A healthy exact-order fit returns `None`.
+    ///
+    /// Non-finite input moments cannot be repaired by dropping order and
+    /// are a typed [`awesym_awe::AweError::NonFinite`] error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::Awe`] when no stable model exists at any
+    /// order down to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `m.len() < 2 * self.order()`.
+    pub fn rom_degraded_from_moments(
+        &self,
+        m: &[f64],
+    ) -> Result<(Rom, Option<Degradation>), PartitionError> {
         assert!(m.len() >= 2 * self.order, "need 2q moments");
+        if m.iter().any(|v| !v.is_finite()) {
+            return Err(PartitionError::Awe(awesym_awe::AweError::NonFinite {
+                what: "moments",
+            }));
+        }
         let mut last = None;
+        // Why the highest-order attempt was rejected — the reason a client
+        // sees when a lower order ends up being served.
+        let mut reason: Option<String> = None;
         for q in (1..=self.order).rev() {
             match pade_rom(&m[..2 * q], q, true) {
                 Ok(r) => {
                     if r.is_stable() {
-                        return Ok(r);
+                        let deg = (q < self.order).then(|| Degradation {
+                            from_order: self.order,
+                            to_order: q,
+                            reason: reason
+                                .clone()
+                                .unwrap_or_else(|| "lower order preferred".into()),
+                        });
+                        return Ok((r, deg));
                     }
                     if let Some(f) = r.stabilized() {
-                        return Ok(f);
+                        let why = reason
+                            .clone()
+                            .unwrap_or_else(|| format!("order {q} fit has unstable poles"));
+                        let to_order = f.order();
+                        return Ok((
+                            f,
+                            Some(Degradation {
+                                from_order: self.order,
+                                to_order,
+                                reason: format!("{why}; unstable poles discarded, residues refit"),
+                            }),
+                        ));
                     }
+                    reason.get_or_insert_with(|| format!("order {q} fit has unstable poles"));
                 }
-                Err(e) => last = Some(e),
+                Err(e) => {
+                    reason.get_or_insert_with(|| format!("order {q} fit failed: {e}"));
+                    last = Some(e);
+                }
             }
         }
         Err(PartitionError::Awe(
@@ -649,6 +753,84 @@ mod tests {
         let a = model.rom(&vals).unwrap();
         let b = model.rom_from_moments(&m).unwrap();
         assert_eq!(a.poles(), b.poles());
+        // A healthy exact-order fit reports no degradation.
+        let (c, deg) = model.rom_degraded_from_moments(&m).unwrap();
+        assert_eq!(a.poles(), c.poles());
+        assert!(deg.is_none(), "{deg:?}");
+    }
+
+    /// Moments of `H(s) = Σ k_i/(s − p_i)`: `m_j = −Σ k_i/p_i^{j+1}`.
+    fn moments_of(poles: &[f64], residues: &[f64], count: usize) -> Vec<f64> {
+        (0..count)
+            .map(|j| {
+                -poles
+                    .iter()
+                    .zip(residues)
+                    .map(|(&p, &k)| k / p.powi(j as i32 + 1))
+                    .sum::<f64>()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn overfit_moments_degrade_to_lower_order() {
+        // A 2-pole model fed moments of a single-pole response: the order-2
+        // Hankel system is singular, so the ladder drops to order 1 and says
+        // so.
+        let (_, model) = fig1_model(2);
+        let m = moments_of(&[-1e6], &[2e6], 4);
+        let (rom, deg) = model.rom_degraded_from_moments(&m).unwrap();
+        assert_eq!(rom.order(), 1);
+        let deg = deg.unwrap();
+        assert_eq!((deg.from_order, deg.to_order), (2, 1));
+        assert!(deg.reason.contains("order 2"), "{}", deg.reason);
+        assert!((rom.poles()[0].re + 1e6).abs() < 1.0, "{:?}", rom.poles());
+    }
+
+    #[test]
+    fn unstable_moments_degrade_with_reason() {
+        // Moments of a pole pair with one RHP pole: the exact-order fit
+        // recovers the unstable pole, gets rejected, and the stabilized
+        // refit is reported as a degradation instead of served silently.
+        let (_, model) = fig1_model(2);
+        let m = moments_of(&[-1.0, 2.0], &[1.0, 0.5], 4);
+        let (rom, deg) = model.rom_degraded_from_moments(&m).unwrap();
+        assert!(rom.is_stable());
+        assert!(rom.poles().iter().all(|p| p.re.is_finite()));
+        let deg = deg.unwrap();
+        assert_eq!(deg.from_order, 2);
+        assert!(deg.to_order < 2);
+        assert!(deg.reason.contains("unstable"), "{}", deg.reason);
+    }
+
+    #[test]
+    fn non_finite_moments_are_a_typed_error() {
+        let (_, model) = fig1_model(2);
+        let m = [1.0, f64::NAN, 1.0, -1.0];
+        let e = model.rom_degraded_from_moments(&m).unwrap_err();
+        assert!(
+            matches!(
+                e,
+                PartitionError::Awe(awesym_awe::AweError::NonFinite { .. })
+            ),
+            "{e:?}"
+        );
+    }
+
+    #[test]
+    fn validate_numerics_accepts_healthy_and_rejects_corrupt() {
+        let (_, model) = fig1_model(2);
+        model.validate_numerics().unwrap();
+        // Round-trip through JSON with a nominal value replaced by null
+        // (how NaN survives serialization) — validation must catch it.
+        let json = serde_json::to_string(&model).unwrap();
+        let v0 = model.nominal()[0];
+        let needle = serde_json::to_string(&v0).unwrap();
+        let corrupt = json.replacen(&needle, "null", 1);
+        assert_ne!(json, corrupt, "nominal value not found in payload");
+        let bad: CompiledModel = serde_json::from_str(&corrupt).unwrap();
+        let e = bad.validate_numerics().unwrap_err();
+        assert!(e.contains("non-finite"), "{e}");
     }
 
     #[test]

@@ -91,7 +91,8 @@ pub fn to_artifact_string(model: &CompiledModel) -> Result<String, ServeError> {
 /// tag, [`ServeError::VersionMismatch`] for any *major* version other
 /// than [`FORMAT_VERSION`] (a missing or newer `minor` is accepted),
 /// [`ServeError::ChecksumMismatch`] when the payload bytes do not hash to
-/// the recorded checksum.
+/// the recorded checksum, [`ServeError::ArtifactNumeric`] when the parsed
+/// model carries non-finite coefficients.
 pub fn from_artifact_str(text: &str) -> Result<CompiledModel, ServeError> {
     let envelope: Content = serde_json::from_str(text).map_err(|e| ServeError::BadFormat {
         what: format!("not JSON: {e}"),
@@ -140,9 +141,23 @@ pub fn from_artifact_str(text: &str) -> Result<CompiledModel, ServeError> {
             actual,
         });
     }
-    serde_json::from_str(payload).map_err(|e| ServeError::BadFormat {
-        what: format!("payload is not a compiled model: {e}"),
-    })
+    let model: CompiledModel =
+        serde_json::from_str(payload).map_err(|e| ServeError::BadFormat {
+            what: format!("payload is not a compiled model: {e}"),
+        })?;
+    validate_model(model)
+}
+
+/// Numeric health gate for freshly loaded models: JSON cannot express
+/// NaN/Inf, so our writer emits `null` and the reader maps it back to
+/// NaN — meaning a corrupted-but-checksummed (or hand-edited) artifact
+/// can carry non-finite coefficients that would silently poison every
+/// evaluation. Reject it at load time instead.
+fn validate_model(model: CompiledModel) -> Result<CompiledModel, ServeError> {
+    model
+        .validate_numerics()
+        .map_err(|what| ServeError::ArtifactNumeric { what })?;
+    Ok(model)
 }
 
 /// Writes a model to `path` in artifact form.
@@ -194,8 +209,10 @@ pub fn load_model_file(path: impl AsRef<Path>) -> Result<CompiledModel, ServeErr
     if looks_like_artifact {
         from_artifact_str(&text)
     } else {
-        serde_json::from_str(&text).map_err(|e| ServeError::BadFormat {
-            what: format!("not a compiled model: {e}"),
-        })
+        let model: CompiledModel =
+            serde_json::from_str(&text).map_err(|e| ServeError::BadFormat {
+                what: format!("not a compiled model: {e}"),
+            })?;
+        validate_model(model)
     }
 }

@@ -7,11 +7,33 @@
 //! [`Evaluator`](awesym_partition::Evaluator) (which carries its own
 //! scratch), and the shared model is only read. Results always come back
 //! in input order, and a bad point (wrong arity, unstable ROM, …) yields
-//! a per-point error instead of aborting the batch. Moment-only batches
-//! additionally take the blocked SoA `eval_batch` kernel — one tape walk
-//! per block of points instead of per point.
+//! a per-point [`PointError`] instead of aborting the batch. Moment-only
+//! batches additionally take the blocked SoA `eval_batch` kernel — one
+//! tape walk per block of points instead of per point.
+//!
+//! This module is also the process's blast shield:
+//!
+//! - **panic isolation** — every point evaluation runs under
+//!   `catch_unwind`, so a poisoned point becomes a `PointError` with code
+//!   `internal` and the rest of the batch (and the server) keeps going;
+//! - **numeric health** — non-finite moments are rejected as
+//!   `numeric_unstable` instead of being returned, and ROM construction
+//!   reports when it had to degrade to a lower approximation order;
+//! - **deadlines** — [`evaluate_batch_guarded`] checks a deadline
+//!   cooperatively between points and marks unevaluated points
+//!   `deadline_exceeded` instead of running arbitrarily long;
+//! - **fault injection** — with the `fault-injection` feature, installed
+//!   [`crate::faults`] plans inject panics, NaN moments, and slowdowns per
+//!   point, deterministically.
 
-use awesym_partition::{CompiledModel, Evaluator};
+use crate::error::{partition_code, PointError};
+use awesym_partition::{CompiledModel, Degradation, Evaluator};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Points evaluated between deadline checks (and per SoA sub-block).
+const CHECK_STRIDE: usize = 32;
 
 /// What to compute for each point of a batch.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +71,9 @@ pub struct RomSummary {
     pub stable: bool,
     /// 50 % step delay, when the response crosses it.
     pub delay_50: Option<f64>,
+    /// The numeric-health fallback that fired, when the exact order was
+    /// rejected and a lower order was served.
+    pub degraded: Option<Degradation>,
 }
 
 /// The delay-metric family, mirroring [`awesym_awe::DelayEstimates`] with
@@ -86,17 +111,118 @@ pub enum PointValue {
     /// DC gain.
     DcGain(f64),
     /// Step-response samples.
-    Step(Vec<f64>),
+    Step {
+        /// The sampled response values.
+        samples: Vec<f64>,
+        /// The numeric-health fallback that fired, if any.
+        degraded: Option<Degradation>,
+    },
     /// Delay metrics.
     Delays(DelaySummary),
 }
 
-/// One point's outcome: a value or a point-local error message.
-pub type PointResult = Result<PointValue, String>;
+/// One point's outcome: a value or a structured point-local error.
+pub type PointResult = Result<PointValue, PointError>;
 
-fn rom_summary(model: &CompiledModel, moments: &[f64]) -> Result<RomSummary, String> {
-    let rom = model.rom_from_moments(moments).map_err(|e| e.to_string())?;
-    Ok(RomSummary {
+/// A guarded batch run's results plus its health counters.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-point outcomes, in input order — one per input point, always.
+    pub results: Vec<PointResult>,
+    /// Panics caught and converted to `internal` point errors.
+    pub panics_caught: u64,
+    /// Points whose ROM degraded to a lower approximation order.
+    pub degraded_points: u64,
+    /// True when the deadline fired before every point was evaluated.
+    pub deadline_exceeded: bool,
+}
+
+/// Shared per-batch control block: the deadline and the health counters
+/// the workers update.
+struct BatchCtl {
+    deadline: Option<Instant>,
+    expired: AtomicBool,
+    panics: AtomicU64,
+    degraded: AtomicU64,
+}
+
+impl BatchCtl {
+    /// True once the deadline has passed. Sticky: the first worker to
+    /// notice flips a flag all workers see without re-reading the clock.
+    fn check_expired(&self) -> bool {
+        if self.expired.load(Ordering::Relaxed) {
+            return true;
+        }
+        match self.deadline {
+            Some(d) if Instant::now() >= d => {
+                self.expired.store(true, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Applies any injected fault for the point at `index`: sleeps through
+/// `Slow`, panics for `Panic`, and returns `true` when the point's
+/// moments must be poisoned with NaN. A no-op (always `false`) without
+/// the `fault-injection` feature.
+#[inline]
+fn apply_injected_fault(index: usize) -> bool {
+    #[cfg(feature = "fault-injection")]
+    {
+        use crate::faults::{fault_for_point, Fault};
+        match fault_for_point(index) {
+            Some(Fault::Panic) => panic!("injected fault: panic at point {index}"),
+            Some(Fault::Slow(d)) => {
+                std::thread::sleep(d);
+                false
+            }
+            Some(Fault::NanMoments) => true,
+            None => false,
+        }
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        let _ = index;
+        false
+    }
+}
+
+/// True when a fault plan is installed (forces the per-point path so
+/// every point passes the injection hook). Always `false` without the
+/// `fault-injection` feature.
+#[inline]
+fn faults_active() -> bool {
+    #[cfg(feature = "fault-injection")]
+    {
+        crate::faults::active()
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        false
+    }
+}
+
+/// Renders a caught panic payload as text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn rom_summary(
+    model: &CompiledModel,
+    moments: &[f64],
+) -> Result<(RomSummary, Option<Degradation>), PointError> {
+    let (rom, degraded) = model
+        .rom_degraded_from_moments(moments)
+        .map_err(|e| PointError::new(partition_code(&e), e.to_string()))?;
+    let summary = RomSummary {
         poles_re: rom.poles().iter().map(|p| p.re).collect(),
         poles_im: rom.poles().iter().map(|p| p.im).collect(),
         residues_re: rom.residues().iter().map(|k| k.re).collect(),
@@ -104,64 +230,210 @@ fn rom_summary(model: &CompiledModel, moments: &[f64]) -> Result<RomSummary, Str
         dc_gain: rom.dc_gain(),
         stable: rom.is_stable(),
         delay_50: rom.delay_50(),
-    })
+        degraded: degraded.clone(),
+    };
+    Ok((summary, degraded))
 }
 
 /// Evaluates one point through a worker's [`Evaluator`]; `moments` is the
-/// worker's reused `2q` output buffer.
+/// worker's reused `2q` output buffer. `index` is the point's position in
+/// the whole batch (for fault injection). Increments `ctl.degraded` when
+/// a ROM fallback fires.
 fn eval_point(
     model: &CompiledModel,
     ev: &Evaluator<'_>,
     vals: &[f64],
     output: &BatchOutput,
     moments: &mut [f64],
+    index: usize,
+    ctl: &BatchCtl,
 ) -> PointResult {
     let n_sym = ev.n_inputs();
     if vals.len() != n_sym {
-        return Err(format!(
+        return Err(PointError::bad_request(format!(
             "point has {} values, model has {n_sym} symbols",
             vals.len()
-        ));
+        )));
     }
+    let poison = apply_injected_fault(index);
     // Single tape replay covers every output kind — the ROM paths reuse
     // the already-evaluated moments instead of replaying the tape again.
     ev.eval_into(vals, moments);
+    if poison {
+        moments.fill(f64::NAN);
+    }
+    // Numeric health gate: never hand back NaN/Inf moments (a division by
+    // a zero-valued symbol combination, or an injected fault).
+    if moments.iter().any(|m| !m.is_finite()) {
+        return Err(PointError::numeric(
+            "evaluation produced non-finite moments",
+        ));
+    }
+    let note_degraded = |d: &Option<Degradation>| {
+        if d.is_some() {
+            ctl.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+    };
     match output {
         BatchOutput::Moments => Ok(PointValue::Moments(moments.to_vec())),
         BatchOutput::DcGain => Ok(PointValue::DcGain(moments[0])),
-        BatchOutput::Rom => rom_summary(model, moments).map(PointValue::Rom),
+        BatchOutput::Rom => {
+            let (summary, degraded) = rom_summary(model, moments)?;
+            note_degraded(&degraded);
+            Ok(PointValue::Rom(summary))
+        }
         BatchOutput::Step { times } => {
-            let rom = model.rom_from_moments(moments).map_err(|e| e.to_string())?;
-            Ok(PointValue::Step(rom.step_response_series(times)))
+            let (rom, degraded) = model
+                .rom_degraded_from_moments(moments)
+                .map_err(|e| PointError::new(partition_code(&e), e.to_string()))?;
+            note_degraded(&degraded);
+            Ok(PointValue::Step {
+                samples: rom.step_response_series(times),
+                degraded,
+            })
         }
         BatchOutput::Delays => awesym_awe::delay_estimates(moments)
             .map(|d| PointValue::Delays(d.into()))
-            .map_err(|e| e.to_string()),
+            .map_err(|e| PointError::numeric(e.to_string())),
     }
 }
 
-/// Evaluates one worker's chunk. Moment-only chunks whose points all have
-/// the right arity go through the SoA batch kernel in one call; anything
-/// else falls back to the per-point path.
+/// [`eval_point`] behind `catch_unwind`: a panic in the tape replay, the
+/// Padé solve, or an injected fault becomes an `internal` point error.
+/// The evaluator is passed by `&mut Option` so it can be rebuilt after a
+/// panic (its scratch state is suspect mid-unwind).
+#[allow(clippy::too_many_arguments)]
+fn eval_point_guarded<'m>(
+    model: &'m CompiledModel,
+    ev: &mut Option<Evaluator<'m>>,
+    vals: &[f64],
+    output: &BatchOutput,
+    moments: &mut [f64],
+    index: usize,
+    ctl: &BatchCtl,
+) -> PointResult {
+    let evaluator = ev.get_or_insert_with(|| model.evaluator());
+    let r = catch_unwind(AssertUnwindSafe(|| {
+        eval_point(model, evaluator, vals, output, moments, index, ctl)
+    }));
+    match r {
+        Ok(point_result) => point_result,
+        Err(payload) => {
+            ctl.panics.fetch_add(1, Ordering::Relaxed);
+            *ev = None; // rebuild: scratch may hold partial state
+            Err(PointError::internal(format!(
+                "evaluation panicked: {}",
+                panic_message(payload.as_ref())
+            )))
+        }
+    }
+}
+
+/// Marks every unfilled slot from `from` onward as deadline-exceeded.
+fn mark_deadline(slots: &mut [Option<PointResult>], from: usize) {
+    for slot in &mut slots[from..] {
+        if slot.is_none() {
+            *slot = Some(Err(PointError::deadline(
+                "deadline expired before this point was evaluated",
+            )));
+        }
+    }
+}
+
+/// Evaluates one worker's chunk; `base` is the chunk's offset in the
+/// whole batch. Moment-only chunks whose points all have the right arity
+/// go through the SoA batch kernel (in deadline-check sub-blocks);
+/// anything else — including any run with fault injection active — falls
+/// back to the per-point path.
 fn eval_chunk(
     model: &CompiledModel,
     points: &[Vec<f64>],
     output: &BatchOutput,
     slots: &mut [Option<PointResult>],
+    base: usize,
+    ctl: &BatchCtl,
 ) {
-    let ev = model.evaluator();
-    let n_m = ev.n_outputs();
-    if matches!(output, BatchOutput::Moments) && points.iter().all(|p| p.len() == ev.n_inputs()) {
-        let mut flat = vec![0.0; points.len() * n_m];
-        ev.eval_batch(points, &mut flat);
-        for (slot, row) in slots.iter_mut().zip(flat.chunks_exact(n_m)) {
-            *slot = Some(Ok(PointValue::Moments(row.to_vec())));
+    let mut ev: Option<Evaluator<'_>> = Some(model.evaluator());
+    let n_m = ev.as_ref().map_or(0, Evaluator::n_outputs);
+    let n_in = ev.as_ref().map_or(0, Evaluator::n_inputs);
+    let soa_eligible = matches!(output, BatchOutput::Moments)
+        && !faults_active()
+        && points.iter().all(|p| p.len() == n_in);
+    if soa_eligible {
+        let mut flat = vec![0.0; CHECK_STRIDE * n_m];
+        let mut done = 0;
+        while done < points.len() {
+            if ctl.check_expired() {
+                mark_deadline(slots, done);
+                return;
+            }
+            let end = (done + CHECK_STRIDE).min(points.len());
+            let block = &points[done..end];
+            let out = &mut flat[..(end - done) * n_m];
+            let evaluator = ev.get_or_insert_with(|| model.evaluator());
+            let run = catch_unwind(AssertUnwindSafe(|| evaluator.try_eval_batch(block, out)));
+            match run {
+                Ok(Ok(())) => {
+                    for (slot, row) in slots[done..end].iter_mut().zip(out.chunks_exact(n_m)) {
+                        *slot = Some(if row.iter().all(|m| m.is_finite()) {
+                            Ok(PointValue::Moments(row.to_vec()))
+                        } else {
+                            Err(PointError::numeric(
+                                "evaluation produced non-finite moments",
+                            ))
+                        });
+                    }
+                }
+                Ok(Err(shape)) => {
+                    // Unreachable (arity pre-checked), but degrade to a
+                    // per-point error rather than trusting it.
+                    for slot in &mut slots[done..end] {
+                        *slot = Some(Err(PointError::bad_request(shape.to_string())));
+                    }
+                }
+                Err(_payload) => {
+                    // A panic inside the SoA kernel: isolate the poisoned
+                    // point(s) by replaying this block point by point
+                    // (each replay produces its own per-point error).
+                    ctl.panics.fetch_add(1, Ordering::Relaxed);
+                    ev = None;
+                    let mut moments = vec![0.0; n_m];
+                    for (i, (slot, point)) in
+                        slots[done..end].iter_mut().zip(block.iter()).enumerate()
+                    {
+                        *slot = Some(eval_point_guarded(
+                            model,
+                            &mut ev,
+                            point,
+                            output,
+                            &mut moments,
+                            base + done + i,
+                            ctl,
+                        ));
+                    }
+                }
+            }
+            done = end;
         }
         return;
     }
     let mut moments = vec![0.0; n_m];
-    for (slot, point) in slots.iter_mut().zip(points) {
-        *slot = Some(eval_point(model, &ev, point, output, &mut moments));
+    // The slow path is one tape replay (and possibly a Padé solve) per
+    // point — a clock read per point is noise, so check every time.
+    for i in 0..points.len() {
+        if ctl.check_expired() {
+            mark_deadline(&mut slots[i..], 0);
+            return;
+        }
+        slots[i] = Some(eval_point_guarded(
+            model,
+            &mut ev,
+            &points[i],
+            output,
+            &mut moments,
+            base + i,
+            ctl,
+        ));
     }
 }
 
@@ -172,40 +444,66 @@ pub fn default_workers() -> usize {
 
 /// Evaluates `points` against `model`, fanning across `workers` threads
 /// (`None` → [`default_workers`]). Results are returned in input order;
-/// each point independently succeeds or reports an error string.
-///
-/// # Panics
-///
-/// Panics only if a worker thread panics (model evaluation itself maps
-/// failures into per-point errors).
+/// each point independently succeeds or reports a structured
+/// [`PointError`] — a panic inside one point's evaluation is caught and
+/// isolated, never aborting the batch or the process.
 pub fn evaluate_batch(
     model: &CompiledModel,
     points: &[Vec<f64>],
     output: &BatchOutput,
     workers: Option<usize>,
 ) -> Vec<PointResult> {
-    let n = points.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = workers.unwrap_or_else(default_workers).clamp(1, n);
-    let mut results: Vec<Option<PointResult>> = vec![None; n];
-    let chunk = n.div_ceil(workers);
+    evaluate_batch_guarded(model, points, output, workers, None).results
+}
 
-    if workers == 1 {
-        // Serial fast path: no thread spawn, same chunk code.
-        eval_chunk(model, points, output, &mut results);
-    } else {
-        std::thread::scope(|s| {
-            for (out_chunk, in_chunk) in results.chunks_mut(chunk).zip(points.chunks(chunk)) {
-                s.spawn(move || eval_chunk(model, in_chunk, output, out_chunk));
-            }
-        });
+/// As [`evaluate_batch`], with a cooperative deadline and health
+/// counters. Workers check the deadline between points (every
+/// [`CHECK_STRIDE`] points on the fast path); once it expires, remaining
+/// points are marked `deadline_exceeded` instead of being evaluated, so a
+/// runaway request bounds its own latency.
+pub fn evaluate_batch_guarded(
+    model: &CompiledModel,
+    points: &[Vec<f64>],
+    output: &BatchOutput,
+    workers: Option<usize>,
+    deadline: Option<Instant>,
+) -> BatchOutcome {
+    let n = points.len();
+    let ctl = BatchCtl {
+        deadline,
+        expired: AtomicBool::new(false),
+        panics: AtomicU64::new(0),
+        degraded: AtomicU64::new(0),
+    };
+    let mut results: Vec<Option<PointResult>> = vec![None; n];
+    if n > 0 {
+        let workers = workers.unwrap_or_else(default_workers).clamp(1, n);
+        let chunk = n.div_ceil(workers);
+        if workers == 1 {
+            // Serial fast path: no thread spawn, same chunk code.
+            eval_chunk(model, points, output, &mut results, 0, &ctl);
+        } else {
+            std::thread::scope(|s| {
+                for (w, (out_chunk, in_chunk)) in results
+                    .chunks_mut(chunk)
+                    .zip(points.chunks(chunk))
+                    .enumerate()
+                {
+                    let ctl = &ctl;
+                    s.spawn(move || eval_chunk(model, in_chunk, output, out_chunk, w * chunk, ctl));
+                }
+            });
+        }
     }
-    results
-        .into_iter()
-        .map(|r| r.expect("slot filled"))
-        .collect()
+    BatchOutcome {
+        results: results
+            .into_iter()
+            .map(|r| r.expect("slot filled"))
+            .collect(),
+        panics_caught: ctl.panics.load(Ordering::Relaxed),
+        degraded_points: ctl.degraded.load(Ordering::Relaxed),
+        deadline_exceeded: ctl.expired.load(Ordering::Relaxed),
+    }
 }
 
 #[cfg(test)]
@@ -213,6 +511,7 @@ mod tests {
     use super::*;
     use awesym_circuit::generators::fig1_rc;
     use awesym_partition::SymbolBinding;
+    use std::time::Duration;
 
     fn model2() -> CompiledModel {
         let w = fig1_rc(1e-3, 2e-3, 1e-9, 3e-9);
@@ -260,7 +559,9 @@ mod tests {
         let pts = vec![vec![1e-9, 1e3], vec![1e-9], vec![2e-9, 2e3]];
         let got = evaluate_batch(&m, &pts, &BatchOutput::DcGain, Some(2));
         assert!(got[0].is_ok());
-        assert!(got[1].as_ref().unwrap_err().contains("2 symbols"));
+        let e = got[1].as_ref().unwrap_err();
+        assert!(e.message.contains("2 symbols"), "{e}");
+        assert_eq!(e.code, "bad_request");
         assert!(got[2].is_ok());
     }
 
@@ -293,5 +594,60 @@ mod tests {
             };
             assert!(d.elmore > 0.0 && d.d2m > 0.0);
         }
+    }
+
+    #[test]
+    fn healthy_points_report_no_degradation() {
+        let m = model2();
+        let out = evaluate_batch_guarded(&m, &grid(8), &BatchOutput::Rom, Some(2), None);
+        assert_eq!(out.panics_caught, 0);
+        assert_eq!(out.degraded_points, 0);
+        assert!(!out.deadline_exceeded);
+        for r in &out.results {
+            let PointValue::Rom(s) = r.as_ref().unwrap() else {
+                panic!("wrong kind")
+            };
+            assert!(s.degraded.is_none());
+        }
+    }
+
+    #[test]
+    fn expired_deadline_marks_remaining_points() {
+        let m = model2();
+        // A deadline already in the past: every point is marked, none
+        // evaluated, and the outcome says so.
+        let past = Instant::now() - Duration::from_millis(1);
+        for workers in [1, 4] {
+            let out = evaluate_batch_guarded(
+                &m,
+                &grid(100),
+                &BatchOutput::Moments,
+                Some(workers),
+                Some(past),
+            );
+            assert!(out.deadline_exceeded);
+            assert_eq!(out.results.len(), 100);
+            let expired = out
+                .results
+                .iter()
+                .filter(|r| {
+                    r.as_ref()
+                        .err()
+                        .is_some_and(|e| e.code == "deadline_exceeded")
+                })
+                .count();
+            assert_eq!(expired, 100, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let m = model2();
+        let pts = grid(40);
+        let free = evaluate_batch(&m, &pts, &BatchOutput::Moments, Some(2));
+        let far = Instant::now() + Duration::from_secs(3600);
+        let out = evaluate_batch_guarded(&m, &pts, &BatchOutput::Moments, Some(2), Some(far));
+        assert!(!out.deadline_exceeded);
+        assert_eq!(out.results, free);
     }
 }

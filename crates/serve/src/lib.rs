@@ -13,12 +13,24 @@
 //!   threads with per-thread scratch reuse and per-point errors;
 //! - [`server`]: the newline-delimited-JSON [`Server`] engine behind
 //!   `awesym serve`, with request/latency/throughput [`stats`].
+//!
+//! The runtime is engineered to stay up under bad inputs: per-point
+//! panics are caught and isolated, numeric ill-health degrades gracefully
+//! to lower approximation orders, requests carry deadlines and the server
+//! sheds load past its in-flight budget — see `docs/robustness.md` and,
+//! under the `fault-injection` feature, the deterministic [`faults`]
+//! harness that proves it.
 
 #![forbid(unsafe_code)]
+// Production code must route failures through the error taxonomy, not
+// unwrap; tests are exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod artifact;
 pub mod batch;
 mod error;
+#[cfg(feature = "fault-injection")]
+pub mod faults;
 pub mod registry;
 pub mod resolve;
 pub mod server;
@@ -28,8 +40,12 @@ pub use artifact::{
     checksum, from_artifact_str, load_artifact, load_model_file, save_artifact, to_artifact_string,
     FORMAT_MINOR, FORMAT_TAG, FORMAT_VERSION,
 };
-pub use batch::{evaluate_batch, BatchOutput, DelaySummary, PointResult, PointValue, RomSummary};
-pub use error::ServeError;
+pub use awesym_partition::Degradation;
+pub use batch::{
+    evaluate_batch, evaluate_batch_guarded, BatchOutcome, BatchOutput, DelaySummary, PointResult,
+    PointValue, RomSummary,
+};
+pub use error::{ErrorCode, PointError, ServeError};
 pub use registry::{ModelRegistry, RegistryStats};
-pub use server::{Response, Server, DEFAULT_CAPACITY};
+pub use server::{Response, Server, ServerConfig, DEFAULT_CAPACITY};
 pub use stats::{ServerStats, StatsSnapshot};

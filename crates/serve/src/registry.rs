@@ -67,7 +67,7 @@ impl ModelRegistry {
     ///
     /// Panics if the lock was poisoned by a panicking writer.
     pub fn insert(&self, name: &str, model: CompiledModel) -> Option<String> {
-        let mut g = self.inner.write().unwrap();
+        let mut g = self.inner.write().expect("registry lock poisoned");
         g.tick += 1;
         let tick = g.tick;
         g.entries.insert(
@@ -97,7 +97,7 @@ impl ModelRegistry {
     /// Panics if the lock was poisoned by a panicking writer.
     pub fn get(&self, name: &str) -> Option<Arc<CompiledModel>> {
         // A hit must bump recency, which mutates — take the write lock.
-        let mut g = self.inner.write().unwrap();
+        let mut g = self.inner.write().expect("registry lock poisoned");
         g.tick += 1;
         let tick = g.tick;
         match g.entries.get_mut(name) {
@@ -119,7 +119,12 @@ impl ModelRegistry {
     ///
     /// Panics if the lock was poisoned by a panicking writer.
     pub fn remove(&self, name: &str) -> bool {
-        self.inner.write().unwrap().entries.remove(name).is_some()
+        self.inner
+            .write()
+            .expect("registry lock poisoned")
+            .entries
+            .remove(name)
+            .is_some()
     }
 
     /// Number of resident models.
@@ -128,7 +133,11 @@ impl ModelRegistry {
     ///
     /// Panics if the lock was poisoned by a panicking writer.
     pub fn len(&self) -> usize {
-        self.inner.read().unwrap().entries.len()
+        self.inner
+            .read()
+            .expect("registry lock poisoned")
+            .entries
+            .len()
     }
 
     /// True when no models are resident.
@@ -142,7 +151,14 @@ impl ModelRegistry {
     ///
     /// Panics if the lock was poisoned by a panicking writer.
     pub fn names(&self) -> Vec<String> {
-        let mut v: Vec<String> = self.inner.read().unwrap().entries.keys().cloned().collect();
+        let mut v: Vec<String> = self
+            .inner
+            .read()
+            .expect("registry lock poisoned")
+            .entries
+            .keys()
+            .cloned()
+            .collect();
         v.sort();
         v
     }

@@ -14,21 +14,66 @@
 //! | `shutdown` | acknowledge and stop the serve loop |
 //!
 //! Every response carries `"ok"`; failures report `{"ok":false,
-//! "error":"…"}` and never kill the loop. An optional request `"id"` is
-//! echoed back for client-side correlation.
+//! "error":"…","code":"…"}` — a stable machine-readable
+//! [`ErrorCode`](crate::ErrorCode) alongside the prose — and never kill
+//! the loop. An optional request `"id"` is echoed back for client-side
+//! correlation.
+//!
+//! The server is fault-tolerant by construction (see
+//! `docs/robustness.md`): per-point panics are isolated by the batch
+//! engine, requests carry deadlines (`"deadline_ms"` per request or a
+//! [`ServerConfig`] default), oversized lines and batches are rejected
+//! before any work happens, non-finite symbol values are refused, and an
+//! in-flight budget sheds excess load with an `overloaded` error and a
+//! `retry_after_ms` hint instead of queueing without bound.
 
-use crate::batch::{evaluate_batch, BatchOutput, PointValue};
+use crate::batch::{evaluate_batch_guarded, BatchOutput, PointValue};
 use crate::registry::ModelRegistry;
 use crate::stats::ServerStats;
 use crate::{artifact, resolve, ServeError};
-use awesym_partition::CompiledModel;
+use awesym_partition::{CompiledModel, Degradation};
 use serde::Content;
 use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Default registry capacity for a server.
 pub const DEFAULT_CAPACITY: usize = 16;
+
+/// Operational limits and fault-tolerance knobs for a [`Server`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Registry capacity (models held before LRU eviction).
+    pub capacity: usize,
+    /// Largest accepted `batch` request, in points.
+    pub max_batch_points: usize,
+    /// Largest accepted request line, in bytes (guards the JSON parser).
+    pub max_line_bytes: usize,
+    /// Default evaluation deadline applied to `eval`/`batch` requests;
+    /// `None` means no deadline unless the request carries
+    /// `"deadline_ms"`.
+    pub deadline_ms: Option<u64>,
+    /// Heavy requests (`eval`, `batch`, `compile`) allowed in flight at
+    /// once; `0` means unlimited. Excess requests are shed with an
+    /// `overloaded` error instead of queueing.
+    pub max_inflight: usize,
+    /// Backoff hint returned with `overloaded` errors.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            capacity: DEFAULT_CAPACITY,
+            max_batch_points: 1 << 20,
+            max_line_bytes: 64 << 20,
+            deadline_ms: None,
+            max_inflight: 0,
+            retry_after_ms: 50,
+        }
+    }
+}
 
 /// One handled request's outcome.
 pub struct Response {
@@ -44,6 +89,17 @@ pub struct Response {
 pub struct Server {
     registry: ModelRegistry,
     stats: ServerStats,
+    config: ServerConfig,
+    inflight: AtomicUsize,
+}
+
+/// RAII decrement of the in-flight counter.
+struct InflightGuard<'a>(&'a AtomicUsize);
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 fn obj(fields: Vec<(&str, Content)>) -> Content {
@@ -73,11 +129,20 @@ fn need_str<'a>(req: &'a Content, key: &str) -> Result<&'a str, ServeError> {
 }
 
 fn point_from(c: &Content, what: &str) -> Result<Vec<f64>, ServeError> {
-    c.as_seq()
+    let vals = c
+        .as_seq()
         .and_then(|s| s.iter().map(Content::as_f64).collect::<Option<Vec<f64>>>())
         .ok_or_else(|| ServeError::BadRequest {
             what: format!("{what} must be an array of numbers"),
-        })
+        })?;
+    // NaN/Inf symbol values would propagate through every moment; reject
+    // them at the door with a clear message instead.
+    if let Some(i) = vals.iter().position(|v| !v.is_finite()) {
+        return Err(ServeError::BadRequest {
+            what: format!("{what} has a non-finite value at index {i}"),
+        });
+    }
+    Ok(vals)
 }
 
 fn output_kind(req: &Content) -> Result<BatchOutput, ServeError> {
@@ -107,20 +172,40 @@ fn output_kind(req: &Content) -> Result<BatchOutput, ServeError> {
     }
 }
 
+fn degraded_json(d: &Degradation) -> Content {
+    obj(vec![
+        ("from_order", Content::U64(d.from_order as u64)),
+        ("to_order", Content::U64(d.to_order as u64)),
+        ("reason", Content::Str(d.reason.clone())),
+    ])
+}
+
 fn point_value_json(v: &PointValue) -> Content {
     match v {
         PointValue::Moments(m) => obj(vec![("moments", f64s(m))]),
         PointValue::DcGain(g) => obj(vec![("dc_gain", Content::F64(*g))]),
-        PointValue::Step(s) => obj(vec![("step", f64s(s))]),
-        PointValue::Rom(r) => obj(vec![
-            ("poles_re", f64s(&r.poles_re)),
-            ("poles_im", f64s(&r.poles_im)),
-            ("residues_re", f64s(&r.residues_re)),
-            ("residues_im", f64s(&r.residues_im)),
-            ("dc_gain", Content::F64(r.dc_gain)),
-            ("stable", Content::Bool(r.stable)),
-            ("delay_50", opt_f64(r.delay_50)),
-        ]),
+        PointValue::Step { samples, degraded } => {
+            let mut fields = vec![("step", f64s(samples))];
+            if let Some(d) = degraded {
+                fields.push(("degraded", degraded_json(d)));
+            }
+            obj(fields)
+        }
+        PointValue::Rom(r) => {
+            let mut fields = vec![
+                ("poles_re", f64s(&r.poles_re)),
+                ("poles_im", f64s(&r.poles_im)),
+                ("residues_re", f64s(&r.residues_re)),
+                ("residues_im", f64s(&r.residues_im)),
+                ("dc_gain", Content::F64(r.dc_gain)),
+                ("stable", Content::Bool(r.stable)),
+                ("delay_50", opt_f64(r.delay_50)),
+            ];
+            if let Some(d) = &r.degraded {
+                fields.push(("degraded", degraded_json(d)));
+            }
+            obj(fields)
+        }
         PointValue::Delays(d) => obj(vec![
             ("elmore", Content::F64(d.elmore)),
             ("ln2_elmore", Content::F64(d.ln2_elmore)),
@@ -154,17 +239,59 @@ fn model_summary(name: &str, model: &CompiledModel) -> Vec<(&'static str, Conten
 }
 
 impl Server {
-    /// A server with the given registry capacity.
+    /// A server with the given registry capacity and default limits.
     pub fn new(capacity: usize) -> Self {
+        Server::with_config(ServerConfig {
+            capacity,
+            ..ServerConfig::default()
+        })
+    }
+
+    /// A server with explicit operational limits.
+    pub fn with_config(config: ServerConfig) -> Self {
         Server {
-            registry: ModelRegistry::new(capacity),
+            registry: ModelRegistry::new(config.capacity),
             stats: ServerStats::new(),
+            config,
+            inflight: AtomicUsize::new(0),
         }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
     }
 
     /// The underlying registry (e.g. to pre-load models).
     pub fn registry(&self) -> &ModelRegistry {
         &self.registry
+    }
+
+    /// Claims an in-flight slot for a heavy request, or sheds it when the
+    /// budget (if any) is exhausted.
+    fn admit(&self) -> Result<InflightGuard<'_>, ServeError> {
+        let prev = self.inflight.fetch_add(1, Ordering::AcqRel);
+        if self.config.max_inflight > 0 && prev >= self.config.max_inflight {
+            self.inflight.fetch_sub(1, Ordering::AcqRel);
+            self.stats.record_request_shed();
+            return Err(ServeError::Overloaded {
+                inflight: prev as u64,
+                max_inflight: self.config.max_inflight as u64,
+                retry_after_ms: self.config.retry_after_ms,
+            });
+        }
+        Ok(InflightGuard(&self.inflight))
+    }
+
+    /// The request's evaluation deadline: a per-request `"deadline_ms"`
+    /// overrides the configured default. Returns the absolute instant and
+    /// the millisecond figure (for error reporting).
+    fn deadline_of(&self, req: &Content, t0: Instant) -> Option<(Instant, u64)> {
+        let ms = req
+            .get("deadline_ms")
+            .and_then(Content::as_u64)
+            .or(self.config.deadline_ms)?;
+        Some((t0 + Duration::from_millis(ms), ms))
     }
 
     fn model(&self, req: &Content) -> Result<Arc<CompiledModel>, ServeError> {
@@ -247,7 +374,11 @@ impl Server {
         Ok(vec![("path", Content::Str(path.to_string()))])
     }
 
-    fn cmd_eval(&self, req: &Content) -> Result<Vec<(&'static str, Content)>, ServeError> {
+    fn cmd_eval(
+        &self,
+        req: &Content,
+        deadline: Option<(Instant, u64)>,
+    ) -> Result<Vec<(&'static str, Content)>, ServeError> {
         let model = self.model(req)?;
         let values = point_from(
             req.get("values").ok_or_else(|| ServeError::BadRequest {
@@ -256,21 +387,62 @@ impl Server {
             "'values'",
         )?;
         let kind = output_kind(req)?;
-        let mut results = evaluate_batch(&model, std::slice::from_ref(&values), &kind, Some(1));
-        match results.pop().expect("one point in, one result out") {
+        let outcome = evaluate_batch_guarded(
+            &model,
+            std::slice::from_ref(&values),
+            &kind,
+            Some(1),
+            deadline.map(|(at, _)| at),
+        );
+        self.record_outcome(&outcome);
+        let mut results = outcome.results;
+        let result = results.pop().ok_or_else(|| ServeError::Internal {
+            what: "batch engine returned no result for a single-point request".into(),
+        })?;
+        match result {
             Ok(v) => Ok(vec![("result", point_value_json(&v))]),
-            Err(e) => Err(ServeError::BadRequest { what: e }),
+            Err(_) if outcome.deadline_exceeded => Err(ServeError::DeadlineExceeded {
+                deadline_ms: deadline.map_or(0, |(_, ms)| ms),
+            }),
+            Err(e) => Err(ServeError::Point(e)),
         }
     }
 
-    fn cmd_batch(&self, req: &Content) -> Result<Vec<(&'static str, Content)>, ServeError> {
+    /// Folds a batch outcome's health counters into the server stats.
+    fn record_outcome(&self, outcome: &crate::batch::BatchOutcome) {
+        if outcome.panics_caught > 0 {
+            self.stats.record_panics_caught(outcome.panics_caught);
+        }
+        if outcome.degraded_points > 0 {
+            self.stats.record_degradations(outcome.degraded_points);
+        }
+        if outcome.deadline_exceeded {
+            self.stats.record_deadline_exceeded();
+        }
+    }
+
+    fn cmd_batch(
+        &self,
+        req: &Content,
+        deadline: Option<(Instant, u64)>,
+    ) -> Result<Vec<(&'static str, Content)>, ServeError> {
         let model = self.model(req)?;
-        let points: Vec<Vec<f64>> = req
-            .get("points")
-            .and_then(Content::as_seq)
-            .ok_or_else(|| ServeError::BadRequest {
-                what: "missing 'points' array of arrays".into(),
-            })?
+        let raw_points =
+            req.get("points")
+                .and_then(Content::as_seq)
+                .ok_or_else(|| ServeError::BadRequest {
+                    what: "missing 'points' array of arrays".into(),
+                })?;
+        if raw_points.len() > self.config.max_batch_points {
+            return Err(ServeError::BadRequest {
+                what: format!(
+                    "batch has {} points, limit is {}",
+                    raw_points.len(),
+                    self.config.max_batch_points
+                ),
+            });
+        }
+        let points: Vec<Vec<f64>> = raw_points
             .iter()
             .map(|p| point_from(p, "each point"))
             .collect::<Result<_, _>>()?;
@@ -280,19 +452,25 @@ impl Server {
             .and_then(Content::as_u64)
             .map(|v| (v as usize).max(1));
         let t0 = Instant::now();
-        let results = evaluate_batch(&model, &points, &kind, workers);
+        let outcome =
+            evaluate_batch_guarded(&model, &points, &kind, workers, deadline.map(|(at, _)| at));
         let elapsed = t0.elapsed();
         self.stats.record_batch(points.len(), elapsed);
-        let ok_count = results.iter().filter(|r| r.is_ok()).count();
-        let json: Vec<Content> = results
+        self.record_outcome(&outcome);
+        let ok_count = outcome.results.iter().filter(|r| r.is_ok()).count();
+        let json: Vec<Content> = outcome
+            .results
             .iter()
             .map(|r| match r {
                 Ok(v) => point_value_json(v),
-                Err(e) => obj(vec![("error", Content::Str(e.clone()))]),
+                Err(e) => obj(vec![
+                    ("error", Content::Str(e.message.clone())),
+                    ("code", Content::Str(e.code.clone())),
+                ]),
             })
             .collect();
         let secs = elapsed.as_secs_f64();
-        Ok(vec![
+        let mut fields = vec![
             ("count", Content::U64(points.len() as u64)),
             ("ok_count", Content::U64(ok_count as u64)),
             ("elapsed_secs", Content::F64(secs)),
@@ -304,8 +482,12 @@ impl Server {
                     0.0
                 }),
             ),
-            ("results", Content::Seq(json)),
-        ])
+        ];
+        if outcome.deadline_exceeded {
+            fields.push(("deadline_exceeded", Content::Bool(true)));
+        }
+        fields.push(("results", Content::Seq(json)));
+        Ok(fields)
     }
 
     fn cmd_stats(&self) -> Result<Vec<(&'static str, Content)>, ServeError> {
@@ -341,9 +523,20 @@ impl Server {
             return None;
         }
         let t0 = Instant::now();
-        let req = serde_json::from_str::<Content>(line).map_err(|e| ServeError::BadRequest {
-            what: format!("request is not JSON: {e}"),
-        });
+        // Size guard before the parser ever sees the bytes.
+        let req = if line.len() > self.config.max_line_bytes {
+            Err(ServeError::BadRequest {
+                what: format!(
+                    "request line is {} bytes, limit is {}",
+                    line.len(),
+                    self.config.max_line_bytes
+                ),
+            })
+        } else {
+            serde_json::from_str::<Content>(line).map_err(|e| ServeError::BadRequest {
+                what: format!("request is not JSON: {e}"),
+            })
+        };
         let id = req
             .as_ref()
             .ok()
@@ -352,12 +545,24 @@ impl Server {
         let mut shutdown = false;
         let outcome: Result<Vec<(&'static str, Content)>, ServeError> = req.and_then(|req| {
             let cmd = need_str(&req, "cmd")?.to_string();
+            let deadline = self.deadline_of(&req, t0);
             match cmd.as_str() {
+                // Heavy commands claim an in-flight slot (shedding when
+                // the budget is exhausted); cheap ones always answer.
                 "load" => self.cmd_load(&req),
-                "compile" => self.cmd_compile(&req),
+                "compile" => {
+                    let _slot = self.admit()?;
+                    self.cmd_compile(&req)
+                }
                 "save" => self.cmd_save(&req),
-                "eval" => self.cmd_eval(&req),
-                "batch" => self.cmd_batch(&req),
+                "eval" => {
+                    let _slot = self.admit()?;
+                    self.cmd_eval(&req, deadline)
+                }
+                "batch" => {
+                    let _slot = self.admit()?;
+                    self.cmd_batch(&req, deadline)
+                }
                 "stats" => self.cmd_stats(),
                 "shutdown" => {
                     shutdown = true;
@@ -378,7 +583,13 @@ impl Server {
         }
         match outcome {
             Ok(extra) => fields.extend(extra),
-            Err(e) => fields.push(("error", Content::Str(e.to_string()))),
+            Err(e) => {
+                fields.push(("error", Content::Str(e.to_string())));
+                fields.push(("code", Content::Str(e.code().to_string())));
+                if let ServeError::Overloaded { retry_after_ms, .. } = &e {
+                    fields.push(("retry_after_ms", Content::U64(*retry_after_ms)));
+                }
+            }
         }
         self.stats.record_request(t0.elapsed(), ok);
         let text = serde_json::to_string(&obj(fields))
@@ -474,6 +685,10 @@ mod tests {
         assert_eq!(c.get("ok_count").and_then(Content::as_u64), Some(2));
         let results = c.get("results").and_then(Content::as_seq).unwrap();
         assert!(results[2].get("error").is_some());
+        assert_eq!(
+            results[2].get("code").and_then(Content::as_str),
+            Some("bad_request")
+        );
 
         let r = s.handle_line(r#"{"cmd":"stats"}"#).unwrap();
         let c = parse(&r);
@@ -508,11 +723,150 @@ mod tests {
             assert!(!ok_of(&c), "{bad} -> {}", r.text);
             assert!(!r.shutdown);
             assert!(c.get("error").and_then(Content::as_str).is_some());
+            // Every failure carries a stable machine-readable code.
+            assert!(c.get("code").and_then(Content::as_str).is_some(), "{bad}");
         }
         // Still serving after all those failures.
         let r = s.handle_line(&compile_req("m")).unwrap();
         assert!(ok_of(&parse(&r)));
         assert!(s.handle_line("   ").is_none());
+    }
+
+    fn code_of(c: &Content) -> Option<&str> {
+        c.get("code").and_then(Content::as_str)
+    }
+
+    #[test]
+    fn error_codes_identify_failure_classes() {
+        let s = Server::default();
+        let r = s.handle_line(r#"{"cmd":"nope"}"#).unwrap();
+        assert_eq!(code_of(&parse(&r)), Some("bad_request"));
+        let r = s
+            .handle_line(r#"{"cmd":"eval","model":"ghost","values":[1.0]}"#)
+            .unwrap();
+        assert_eq!(code_of(&parse(&r)), Some("not_found"));
+    }
+
+    #[test]
+    fn non_finite_symbol_values_are_rejected() {
+        let s = Server::default();
+        s.handle_line(&compile_req("m")).unwrap();
+        // JSON has no NaN literal, but `null` deserializes to one through
+        // the lenient f64 path — so guard the typed path directly too.
+        let r = s
+            .handle_line(r#"{"cmd":"eval","model":"m","values":[1e-9,null]}"#)
+            .unwrap();
+        let c = parse(&r);
+        assert!(!ok_of(&c), "{}", r.text);
+        assert_eq!(code_of(&c), Some("bad_request"));
+        let err = point_from(
+            &Content::Seq(vec![Content::F64(1.0), Content::F64(f64::NAN)]),
+            "'values'",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn oversized_lines_and_batches_are_rejected() {
+        let s = Server::with_config(ServerConfig {
+            max_line_bytes: 4096,
+            max_batch_points: 2,
+            ..ServerConfig::default()
+        });
+        let long = format!(r#"{{"cmd":"stats","pad":"{}"}}"#, "x".repeat(8192));
+        let c = parse(&s.handle_line(&long).unwrap());
+        assert!(!ok_of(&c));
+        assert_eq!(code_of(&c), Some("bad_request"));
+        s.handle_line(&compile_req("m")).unwrap();
+        let c = parse(
+            &s.handle_line(
+                r#"{"cmd":"batch","model":"m","points":[[1e-9,1e3],[1e-9,1e3],[1e-9,1e3]]}"#,
+            )
+            .unwrap(),
+        );
+        assert!(!ok_of(&c));
+        assert!(c
+            .get("error")
+            .and_then(Content::as_str)
+            .unwrap()
+            .contains("limit is 2"));
+        // At the limit still works.
+        let c = parse(
+            &s.handle_line(r#"{"cmd":"batch","model":"m","points":[[1e-9,1e3],[1e-9,1e3]]}"#)
+                .unwrap(),
+        );
+        assert!(ok_of(&c), "{c:?}");
+    }
+
+    #[test]
+    fn expired_deadline_is_a_typed_error_and_serving_continues() {
+        let s = Server::default();
+        s.handle_line(&compile_req("m")).unwrap();
+        // deadline_ms of 0 expires immediately: eval reports the typed
+        // code, batch answers with per-point deadline errors and a flag.
+        let c = parse(
+            &s.handle_line(r#"{"cmd":"eval","model":"m","values":[1e-9,1e3],"deadline_ms":0}"#)
+                .unwrap(),
+        );
+        assert!(!ok_of(&c));
+        assert_eq!(code_of(&c), Some("deadline_exceeded"));
+        let c = parse(
+            &s.handle_line(
+                r#"{"cmd":"batch","model":"m","points":[[1e-9,1e3],[2e-9,2e3]],"deadline_ms":0}"#,
+            )
+            .unwrap(),
+        );
+        assert!(ok_of(&c), "{c:?}");
+        assert_eq!(
+            c.get("deadline_exceeded").and_then(Content::as_bool),
+            Some(true)
+        );
+        let results = c.get("results").and_then(Content::as_seq).unwrap();
+        assert!(results
+            .iter()
+            .all(|r| r.get("code").and_then(Content::as_str) == Some("deadline_exceeded")));
+        // The next request is unaffected.
+        let c = parse(
+            &s.handle_line(r#"{"cmd":"eval","model":"m","values":[1e-9,1e3]}"#)
+                .unwrap(),
+        );
+        assert!(ok_of(&c), "{c:?}");
+        let server_stats = parse(&s.handle_line(r#"{"cmd":"stats"}"#).unwrap());
+        let deadlines = server_stats
+            .get("server")
+            .and_then(|v| v.get("deadlines_exceeded"))
+            .and_then(Content::as_u64)
+            .unwrap();
+        assert_eq!(deadlines, 2);
+    }
+
+    #[test]
+    fn inflight_budget_sheds_with_retry_hint() {
+        let s = Server::with_config(ServerConfig {
+            max_inflight: 1,
+            retry_after_ms: 77,
+            ..ServerConfig::default()
+        });
+        s.handle_line(&compile_req("m")).unwrap();
+        let held = s.admit().unwrap();
+        let c = parse(
+            &s.handle_line(r#"{"cmd":"eval","model":"m","values":[1e-9,1e3]}"#)
+                .unwrap(),
+        );
+        assert!(!ok_of(&c));
+        assert_eq!(code_of(&c), Some("overloaded"));
+        assert_eq!(c.get("retry_after_ms").and_then(Content::as_u64), Some(77));
+        // Cheap commands still answer while the budget is exhausted.
+        assert!(ok_of(&parse(&s.handle_line(r#"{"cmd":"stats"}"#).unwrap())));
+        drop(held);
+        let c = parse(
+            &s.handle_line(r#"{"cmd":"eval","model":"m","values":[1e-9,1e3]}"#)
+                .unwrap(),
+        );
+        assert!(ok_of(&c), "{c:?}");
+        let snap = s.stats.snapshot();
+        assert_eq!(snap.requests_shed, 1);
     }
 
     #[test]

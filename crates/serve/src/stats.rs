@@ -34,6 +34,14 @@ pub struct StatsSnapshot {
     pub batch_secs: f64,
     /// Aggregate batch throughput, points per second.
     pub batch_points_per_sec: f64,
+    /// Per-point panics caught and converted to `internal` errors.
+    pub panics_caught: u64,
+    /// Requests that ran past their deadline and were cut short.
+    pub deadlines_exceeded: u64,
+    /// Requests shed at the in-flight budget (`overloaded`).
+    pub requests_shed: u64,
+    /// Points whose ROM fit degraded to a lower approximation order.
+    pub degradations: u64,
 }
 
 /// Atomic counters; cheap to update from the request path.
@@ -44,6 +52,10 @@ pub struct ServerStats {
     buckets: [AtomicU64; NUM_BUCKETS],
     batch_points: AtomicU64,
     batch_nanos: AtomicU64,
+    panics_caught: AtomicU64,
+    deadlines_exceeded: AtomicU64,
+    requests_shed: AtomicU64,
+    degradations: AtomicU64,
 }
 
 fn bucket_label(i: usize) -> String {
@@ -84,6 +96,26 @@ impl ServerStats {
         self.batch_nanos.fetch_add(nanos, Ordering::Relaxed);
     }
 
+    /// Records `n` per-point panics caught by the batch engine.
+    pub fn record_panics_caught(&self, n: u64) {
+        self.panics_caught.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one request cut short by its deadline.
+    pub fn record_deadline_exceeded(&self) {
+        self.deadlines_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request shed at the in-flight budget.
+    pub fn record_request_shed(&self) {
+        self.requests_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` points served at a degraded approximation order.
+    pub fn record_degradations(&self, n: u64) {
+        self.degradations.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Snapshots every counter.
     pub fn snapshot(&self) -> StatsSnapshot {
         let latency = (0..NUM_BUCKETS)
@@ -105,6 +137,10 @@ impl ServerStats {
             } else {
                 0.0
             },
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            deadlines_exceeded: self.deadlines_exceeded.load(Ordering::Relaxed),
+            requests_shed: self.requests_shed.load(Ordering::Relaxed),
+            degradations: self.degradations.load(Ordering::Relaxed),
         }
     }
 }
@@ -120,6 +156,11 @@ mod tests {
         s.record_request(Duration::from_micros(50), false);
         s.record_request(Duration::from_secs(10), true);
         s.record_batch(1000, Duration::from_millis(100));
+        s.record_panics_caught(3);
+        s.record_deadline_exceeded();
+        s.record_request_shed();
+        s.record_request_shed();
+        s.record_degradations(4);
         let snap = s.snapshot();
         assert_eq!(snap.requests, 3);
         assert_eq!(snap.errors, 1);
@@ -130,6 +171,10 @@ mod tests {
         assert_eq!(snap.latency.last().unwrap().le, "inf");
         assert_eq!(snap.batch_points, 1000);
         assert!((snap.batch_points_per_sec - 10_000.0).abs() < 500.0);
+        assert_eq!(snap.panics_caught, 3);
+        assert_eq!(snap.deadlines_exceeded, 1);
+        assert_eq!(snap.requests_shed, 2);
+        assert_eq!(snap.degradations, 4);
     }
 
     #[test]

@@ -115,6 +115,85 @@ fn corrupted_payload_is_rejected() {
     }
 }
 
+/// A partially-written artifact (e.g. a crash mid-`save`) must be a
+/// typed `BadFormat`, never a panic or a half-loaded model.
+#[test]
+fn truncated_artifact_is_rejected_at_any_cut() {
+    let model = fig1_model();
+    let text = awesym_serve::to_artifact_string(&model).unwrap();
+    for keep in [0, 1, text.len() / 10, text.len() / 2, text.len() - 1] {
+        let cut = &text[..keep];
+        match from_artifact_str(cut) {
+            Err(ServeError::BadFormat { .. }) => {}
+            other => panic!("cut at {keep}: expected BadFormat, got {other:?}"),
+        }
+    }
+}
+
+/// A single flipped digit anywhere in the envelope must fail one of the
+/// typed validation gates (usually the checksum).
+#[test]
+fn bit_flipped_artifact_is_rejected() {
+    let model = fig1_model();
+    let text = awesym_serve::to_artifact_string(&model).unwrap();
+    let digit_positions: Vec<usize> = text
+        .bytes()
+        .enumerate()
+        .filter(|(_, b)| b.is_ascii_digit())
+        .map(|(i, _)| i)
+        .collect();
+    // Sample a spread of positions rather than all of them (artifacts
+    // carry thousands of digits).
+    for &pos in digit_positions.iter().step_by(digit_positions.len() / 16) {
+        let mut bytes = text.clone().into_bytes();
+        bytes[pos] ^= 0x01; // 0↔1, 2↔3, … — still a digit, new value
+        let tampered = String::from_utf8(bytes).unwrap();
+        assert!(
+            from_artifact_str(&tampered).is_err(),
+            "flip at byte {pos} was accepted"
+        );
+    }
+}
+
+/// NaN survives a JSON round trip as `null` → NaN, so an artifact can be
+/// internally consistent (checksum included) yet numerically poisoned.
+/// The loader must reject it with the typed `ArtifactNumeric` error.
+#[test]
+fn non_finite_payload_values_are_rejected_with_typed_error() {
+    let model = fig1_model();
+    let payload = serde_json::to_string(&model).unwrap();
+    let nominal = model.nominal()[0];
+    let needle = serde_json::to_string(&serde::Content::F64(nominal)).unwrap();
+    assert!(payload.contains(&needle), "nominal not found in payload");
+    let poisoned_payload = payload.replacen(&needle, "null", 1);
+    // Re-envelope with a *correct* checksum: only the numeric gate can
+    // catch this one.
+    let envelope = serde::Content::Map(vec![
+        ("format".into(), serde::Content::Str("awesym-model".into())),
+        ("version".into(), serde::Content::U64(1)),
+        (
+            "checksum".into(),
+            serde::Content::Str(awesym_serve::checksum(&poisoned_payload)),
+        ),
+        ("payload".into(), serde::Content::Str(poisoned_payload)),
+    ]);
+    let text = serde_json::to_string(&envelope).unwrap();
+    match from_artifact_str(&text) {
+        Err(ServeError::ArtifactNumeric { what }) => {
+            assert!(what.contains("non-finite"), "{what}")
+        }
+        other => panic!("expected ArtifactNumeric, got {other:?}"),
+    }
+    // The raw-model loading path applies the same gate.
+    let dir = TempDirLite::new("awesym_artifact_nan");
+    let raw = dir.path().join("poisoned.json");
+    std::fs::write(&raw, payload.replacen(&needle, "null", 1)).unwrap();
+    assert!(matches!(
+        load_model_file(&raw),
+        Err(ServeError::ArtifactNumeric { .. })
+    ));
+}
+
 #[test]
 fn wrong_version_is_rejected() {
     let model = fig1_model();

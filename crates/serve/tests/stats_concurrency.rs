@@ -1,0 +1,72 @@
+//! Counter exactness under contention: `ServerStats` is updated from
+//! every worker thread on the request path, so its counters must not
+//! lose increments when hammered concurrently — an undercounted
+//! `panics_caught` would mask real instability in production.
+
+use awesym_serve::ServerStats;
+use std::sync::Barrier;
+use std::time::Duration;
+
+const THREADS: usize = 8;
+const ROUNDS: usize = 1000;
+
+#[test]
+fn eight_threads_of_updates_count_exactly() {
+    let stats = ServerStats::new();
+    let barrier = Barrier::new(THREADS);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let stats = &stats;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                for i in 0..ROUNDS {
+                    stats
+                        .record_request(Duration::from_micros((t * ROUNDS + i) as u64), i % 4 != 0);
+                    stats.record_batch(3, Duration::from_nanos(10));
+                    stats.record_panics_caught(2);
+                    stats.record_degradations(1);
+                    if i % 2 == 0 {
+                        stats.record_deadline_exceeded();
+                    }
+                    if i % 5 == 0 {
+                        stats.record_request_shed();
+                    }
+                }
+            });
+        }
+    });
+    let snap = stats.snapshot();
+    let n = (THREADS * ROUNDS) as u64;
+    assert_eq!(snap.requests, n);
+    assert_eq!(snap.errors, n / 4);
+    assert_eq!(snap.latency.iter().map(|b| b.count).sum::<u64>(), n);
+    assert_eq!(snap.batch_points, 3 * n);
+    assert_eq!(snap.panics_caught, 2 * n);
+    assert_eq!(snap.degradations, n);
+    assert_eq!(snap.deadlines_exceeded, n / 2);
+    assert_eq!(snap.requests_shed, n / 5);
+}
+
+#[test]
+fn concurrent_snapshots_never_tear_backwards() {
+    // Readers running alongside writers must see monotonically
+    // non-decreasing counters (each counter is monotone; relaxed loads
+    // may lag but never run backwards).
+    let stats = ServerStats::new();
+    std::thread::scope(|s| {
+        let writer = s.spawn(|| {
+            for _ in 0..ROUNDS {
+                stats.record_panics_caught(1);
+                stats.record_request_shed();
+            }
+        });
+        let mut last = 0;
+        while !writer.is_finished() {
+            let now = stats.snapshot().panics_caught;
+            assert!(now >= last, "{now} < {last}");
+            last = now;
+        }
+    });
+    assert_eq!(stats.snapshot().panics_caught, ROUNDS as u64);
+}

@@ -9,9 +9,54 @@
 
 use crate::CompiledFn;
 use std::cell::RefCell;
+use std::fmt;
 
 /// Points per SoA block in [`Evaluator::eval_batch`].
 pub const LANES: usize = 8;
+
+/// A batch input whose shape does not match the compiled function —
+/// either a point with the wrong symbol count or an output slice of the
+/// wrong length. Returned by [`Evaluator::try_eval_batch`] so callers can
+/// turn shape bugs into per-request errors instead of panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchShapeError {
+    /// Point `index` carried `got` values; the function takes `expected`.
+    PointArity {
+        /// Index of the offending point.
+        index: usize,
+        /// Values supplied.
+        got: usize,
+        /// Symbol count the function expects.
+        expected: usize,
+    },
+    /// The output slice holds `got` values; `expected` are needed.
+    OutputLen {
+        /// Slice length supplied.
+        got: usize,
+        /// `points.len() * n_outputs()`.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for BatchShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BatchShapeError::PointArity {
+                index,
+                got,
+                expected,
+            } => write!(
+                f,
+                "point {index} has {got} values, function takes {expected} symbols"
+            ),
+            BatchShapeError::OutputLen { got, expected } => {
+                write!(f, "output slice holds {got} values, {expected} needed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BatchShapeError {}
 
 /// An affine extension appended after the tape outputs:
 /// `row_i = base[i] + Σ_j jac[i][j] · (x[j] − x0[j])`.
@@ -143,17 +188,45 @@ impl<'m> Evaluator<'m> {
     /// # Panics
     ///
     /// Panics when a point has the wrong arity or `out` is not
-    /// `points.len() * self.n_outputs()` long.
+    /// `points.len() * self.n_outputs()` long. Use
+    /// [`Evaluator::try_eval_batch`] to get a typed error instead.
     pub fn eval_batch(&self, points: &[Vec<f64>], out: &mut [f64]) {
+        if let Err(e) = self.try_eval_batch(points, out) {
+            // A shape mismatch here is a caller bug; panic in every build
+            // profile rather than read stale registers.
+            panic!("eval_batch shape error: {e}");
+        }
+    }
+
+    /// As [`Evaluator::eval_batch`], but mismatched point arity or output
+    /// length is a typed [`BatchShapeError`] instead of a panic — nothing
+    /// is evaluated and `out` is untouched on error, so stale registers
+    /// can never masquerade as results.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchShapeError::PointArity`] for the first point whose length is
+    /// not `self.n_inputs()`; [`BatchShapeError::OutputLen`] when `out` is
+    /// not `points.len() * self.n_outputs()` long.
+    pub fn try_eval_batch(
+        &self,
+        points: &[Vec<f64>],
+        out: &mut [f64],
+    ) -> Result<(), BatchShapeError> {
         let n_in = self.n_inputs();
         let n_out = self.n_outputs();
-        assert_eq!(
-            out.len(),
-            points.len() * n_out,
-            "output slice length mismatch"
-        );
-        for p in points {
-            assert_eq!(p.len(), n_in, "value vector length mismatch");
+        if out.len() != points.len() * n_out {
+            return Err(BatchShapeError::OutputLen {
+                got: out.len(),
+                expected: points.len() * n_out,
+            });
+        }
+        if let Some((index, p)) = points.iter().enumerate().find(|(_, p)| p.len() != n_in) {
+            return Err(BatchShapeError::PointArity {
+                index,
+                got: p.len(),
+                expected: n_in,
+            });
         }
         let tape = self.fun.tape();
         let k = self.fun.n_outputs();
@@ -187,6 +260,7 @@ impl<'m> Evaluator<'m> {
         {
             self.eval_into(p, row);
         }
+        Ok(())
     }
 }
 
@@ -317,6 +391,48 @@ mod tests {
         for (i, p) in points.iter().enumerate() {
             assert_eq!(&batch[i * 3..i * 3 + 3], &ev.eval(p)[..]);
         }
+    }
+
+    #[test]
+    fn try_eval_batch_reports_shape_errors() {
+        let f = demo_fn();
+        let ev = f.evaluator();
+        let n_out = ev.n_outputs();
+        let good = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]];
+        let mut out = vec![0.0; good.len() * n_out];
+        ev.try_eval_batch(&good, &mut out).unwrap();
+
+        // A short point is named by index, and out is untouched.
+        let bad = vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0]];
+        let mut scratch = vec![-7.0; bad.len() * n_out];
+        let e = ev.try_eval_batch(&bad, &mut scratch).unwrap_err();
+        assert_eq!(
+            e,
+            BatchShapeError::PointArity {
+                index: 1,
+                got: 2,
+                expected: 3
+            }
+        );
+        assert!(e.to_string().contains("point 1"), "{e}");
+        assert!(scratch.iter().all(|&x| x == -7.0));
+
+        // Wrong output length is its own variant.
+        let mut short = vec![0.0; 1];
+        let e = ev.try_eval_batch(&good, &mut short).unwrap_err();
+        assert!(
+            matches!(e, BatchShapeError::OutputLen { got: 1, .. }),
+            "{e}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "point 0 has 1 values")]
+    fn eval_batch_wrong_arity_panics() {
+        let f = demo_fn();
+        let ev = f.evaluator();
+        let mut out = vec![0.0; ev.n_outputs()];
+        ev.eval_batch(&[vec![1.0]], &mut out);
     }
 
     #[test]

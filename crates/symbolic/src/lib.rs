@@ -49,7 +49,7 @@ mod ratio;
 mod smat;
 mod symbols;
 
-pub use eval::{AffineTail, Evaluator, LANES};
+pub use eval::{AffineTail, BatchShapeError, Evaluator, LANES};
 pub use expr::{CompiledFn, ExprGraph, ExprId, Tape, TapeOp};
 pub use mpoly::MPoly;
 pub use opt::{CompileOptions, OptLevel};

@@ -16,6 +16,9 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> fault_suite (deterministic fault injection, fixed seeds)"
+cargo test -p awesym-serve --features fault-injection -q
+
 echo "==> tape optimizer smoke (op-count, agreement, and throughput gates)"
 cargo run --release -p awesym-bench --bin tape_bench -- --smoke
 
