@@ -40,6 +40,7 @@ pub mod delay;
 mod error;
 mod moments;
 mod pade;
+pub mod profile;
 mod rom;
 pub mod sensitivity;
 

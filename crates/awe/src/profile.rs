@@ -1,0 +1,114 @@
+//! Sampled timing profile of the two numeric AWE kernels: the moment
+//! recursion ([`crate::MomentEngine::compute`]) and the Padé solve
+//! ([`crate::pade_rom`]).
+//!
+//! Same design as `awesym_symbolic::profile`: always compiled, no
+//! feature gate, one relaxed atomic increment per call in the steady
+//! state, and one call in [`SAMPLE_EVERY`] pays for two clock reads.
+//! These are the stages behind the serving layer's `rom`/`step`/`delays`
+//! outputs, so the serve and tape benches drain this profile into their
+//! `results/BENCH_*.json` reports.
+
+use awesym_obs::{Counter, Sampler};
+use std::time::Duration;
+
+/// One profiled call per this many kernel calls.
+pub const SAMPLE_EVERY: u64 = 16;
+
+pub(crate) static MOMENTS_SAMPLER: Sampler = Sampler::new(SAMPLE_EVERY);
+pub(crate) static PADE_SAMPLER: Sampler = Sampler::new(SAMPLE_EVERY);
+
+static MOMENTS_CALLS: Counter = Counter::new();
+static MOMENTS_NANOS: Counter = Counter::new();
+static PADE_CALLS: Counter = Counter::new();
+static PADE_NANOS: Counter = Counter::new();
+
+pub(crate) fn record_moments(elapsed: Duration) {
+    MOMENTS_CALLS.inc();
+    MOMENTS_NANOS.add(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+}
+
+pub(crate) fn record_pade(elapsed: Duration) {
+    PADE_CALLS.inc();
+    PADE_NANOS.add(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+}
+
+/// Point-in-time view of the sampled kernel profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AweProfile {
+    /// Sampled moment-recursion calls.
+    pub moments_calls: u64,
+    /// Wall-clock nanoseconds across the sampled moment calls.
+    pub moments_nanos: u64,
+    /// Sampled Padé-solve calls.
+    pub pade_calls: u64,
+    /// Wall-clock nanoseconds across the sampled Padé calls.
+    pub pade_nanos: u64,
+}
+
+impl AweProfile {
+    /// Mean nanoseconds per sampled moment-recursion call.
+    pub fn moments_mean_ns(&self) -> f64 {
+        if self.moments_calls == 0 {
+            0.0
+        } else {
+            self.moments_nanos as f64 / self.moments_calls as f64
+        }
+    }
+
+    /// Mean nanoseconds per sampled Padé call.
+    pub fn pade_mean_ns(&self) -> f64 {
+        if self.pade_calls == 0 {
+            0.0
+        } else {
+            self.pade_nanos as f64 / self.pade_calls as f64
+        }
+    }
+}
+
+/// Reads the global profile.
+pub fn snapshot() -> AweProfile {
+    AweProfile {
+        moments_calls: MOMENTS_CALLS.get(),
+        moments_nanos: MOMENTS_NANOS.get(),
+        pade_calls: PADE_CALLS.get(),
+        pade_nanos: PADE_NANOS.get(),
+    }
+}
+
+/// Zeroes the global profile (bench phase boundaries).
+pub fn reset() {
+    MOMENTS_CALLS.take();
+    MOMENTS_NANOS.take();
+    PADE_CALLS.take();
+    PADE_NANOS.take();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_and_means_follow() {
+        let before = snapshot();
+        record_moments(Duration::from_nanos(100));
+        record_pade(Duration::from_nanos(300));
+        let after = snapshot();
+        assert_eq!(after.moments_calls - before.moments_calls, 1);
+        assert!(after.moments_nanos - before.moments_nanos >= 100);
+        assert_eq!(after.pade_calls - before.pade_calls, 1);
+        assert!(after.pade_nanos - before.pade_nanos >= 300);
+        assert!(after.moments_mean_ns() > 0.0);
+        assert!(after.pade_mean_ns() > 0.0);
+    }
+
+    #[test]
+    fn sampler_admits_pade_calls() {
+        let before = snapshot();
+        for _ in 0..2 * SAMPLE_EVERY {
+            crate::pade_rom(&[1.0, -1.0, 1.0, -1.0], 1, true).unwrap();
+        }
+        let after = snapshot();
+        assert!(after.pade_calls >= before.pade_calls + 2);
+    }
+}

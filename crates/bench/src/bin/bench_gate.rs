@@ -1,0 +1,208 @@
+//! Benchmark regression gate: compares fresh `tape_bench`/`serve_bench`
+//! reports against the committed baselines in `results/` and fails when
+//! any tracked throughput metric regresses by more than the threshold
+//! (default 15 %, `--max-regression-pct` or `BENCH_GATE_MAX_REGRESSION_PCT`
+//! to override).
+//!
+//! ```sh
+//! cargo run --release -p awesym-bench --bin bench_gate -- \
+//!     --fresh target/bench_fresh --baseline results [--max-regression-pct 15]
+//! ```
+//!
+//! Tracked metrics:
+//!
+//! - `BENCH_tape.json`: per-case `batch_points_per_sec`;
+//! - `BENCH_serve.json`: per-case `single_points_per_sec` and the best
+//!   batch `points_per_sec` across worker counts.
+//!
+//! Only *regressions* fail; faster-than-baseline results pass (CI hosts
+//! are noisy, so the threshold is deliberately generous — the gate exists
+//! to catch order-of-magnitude slips like an accidental debug-path or
+//! O(n²) reintroduction, not 2 % jitter). A fresh case missing from the
+//! baseline passes with a note (new benchmarks shouldn't fail their
+//! introducing PR); a baseline case missing from the fresh run fails
+//! (coverage must not silently shrink).
+
+use serde::Content;
+use std::path::Path;
+use std::process::ExitCode;
+
+const DEFAULT_MAX_REGRESSION_PCT: f64 = 15.0;
+
+struct Metric {
+    /// `file :: case :: metric` label for reporting.
+    label: String,
+    points_per_sec: f64,
+}
+
+fn load(path: &Path) -> Result<Content, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("{} is not JSON: {e}", path.display()))
+}
+
+fn case_name(case: &Content) -> String {
+    case.get("name")
+        .and_then(Content::as_str)
+        .unwrap_or("<unnamed>")
+        .to_string()
+}
+
+fn need_f64(case: &Content, key: &str, label: &str) -> Result<f64, String> {
+    case.get(key)
+        .and_then(Content::as_f64)
+        .ok_or_else(|| format!("{label}: missing numeric '{key}'"))
+}
+
+/// Tracked metrics of one `BENCH_tape.json` report.
+fn tape_metrics(report: &Content, file: &str) -> Result<Vec<Metric>, String> {
+    let cases = report
+        .get("cases")
+        .and_then(Content::as_seq)
+        .ok_or_else(|| format!("{file}: missing 'cases' array"))?;
+    cases
+        .iter()
+        .map(|case| {
+            let name = case_name(case);
+            let label = format!("{file} :: {name} :: batch_points_per_sec");
+            let points_per_sec = need_f64(case, "batch_points_per_sec", &label)?;
+            Ok(Metric {
+                label,
+                points_per_sec,
+            })
+        })
+        .collect()
+}
+
+/// Tracked metrics of one `BENCH_serve.json` report.
+fn serve_metrics(report: &Content, file: &str) -> Result<Vec<Metric>, String> {
+    let cases = report
+        .get("cases")
+        .and_then(Content::as_seq)
+        .ok_or_else(|| format!("{file}: missing 'cases' array"))?;
+    let mut out = Vec::new();
+    for case in cases {
+        let name = case_name(case);
+        let label = format!("{file} :: {name} :: single_points_per_sec");
+        out.push(Metric {
+            points_per_sec: need_f64(case, "single_points_per_sec", &label)?,
+            label,
+        });
+        let batches = case
+            .get("batch")
+            .and_then(Content::as_seq)
+            .ok_or_else(|| format!("{file} :: {name}: missing 'batch' array"))?;
+        let best = batches
+            .iter()
+            .filter_map(|b| b.get("points_per_sec").and_then(Content::as_f64))
+            .fold(f64::NEG_INFINITY, f64::max);
+        if !best.is_finite() {
+            return Err(format!("{file} :: {name}: no batch points_per_sec"));
+        }
+        out.push(Metric {
+            label: format!("{file} :: {name} :: best_batch_points_per_sec"),
+            points_per_sec: best,
+        });
+    }
+    Ok(out)
+}
+
+/// Compares fresh metrics against the baseline; returns human-readable
+/// failure lines (empty = pass).
+fn compare(fresh: &[Metric], baseline: &[Metric], max_regression_pct: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for base in baseline {
+        let Some(new) = fresh.iter().find(|m| m.label == base.label) else {
+            failures.push(format!("{}: missing from fresh run", base.label));
+            continue;
+        };
+        let regression_pct = 100.0 * (1.0 - new.points_per_sec / base.points_per_sec);
+        let verdict = if regression_pct > max_regression_pct {
+            failures.push(format!(
+                "{}: {:.3e} -> {:.3e} pts/s ({regression_pct:.1}% regression > {max_regression_pct}%)",
+                base.label, base.points_per_sec, new.points_per_sec
+            ));
+            "FAIL"
+        } else {
+            "ok"
+        };
+        println!(
+            "{verdict:>4}  {}  {:.3e} -> {:.3e} pts/s ({:+.1}%)",
+            base.label, base.points_per_sec, new.points_per_sec, -regression_pct
+        );
+    }
+    for new in fresh {
+        if !baseline.iter().any(|m| m.label == new.label) {
+            println!(
+                " new  {}  {:.3e} pts/s (no baseline)",
+                new.label, new.points_per_sec
+            );
+        }
+    }
+    failures
+}
+
+fn gather(dir: &Path) -> Result<Vec<Metric>, String> {
+    let mut metrics = tape_metrics(&load(&dir.join("BENCH_tape.json"))?, "BENCH_tape.json")?;
+    metrics.extend(serve_metrics(
+        &load(&dir.join("BENCH_serve.json"))?,
+        "BENCH_serve.json",
+    )?);
+    Ok(metrics)
+}
+
+fn run(args: &[String]) -> Result<Vec<String>, String> {
+    let mut fresh_dir: Option<String> = None;
+    let mut baseline_dir: Option<String> = None;
+    let mut max_regression_pct = std::env::var("BENCH_GATE_MAX_REGRESSION_PCT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_MAX_REGRESSION_PCT);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--fresh" => fresh_dir = Some(val("--fresh")?),
+            "--baseline" => baseline_dir = Some(val("--baseline")?),
+            "--max-regression-pct" => {
+                max_regression_pct = val("--max-regression-pct")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-regression-pct: {e}"))?
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    let fresh_dir = fresh_dir.ok_or("missing --fresh DIR")?;
+    let baseline_dir = baseline_dir.ok_or("missing --baseline DIR")?;
+    println!(
+        "bench_gate: fresh={fresh_dir} baseline={baseline_dir} threshold={max_regression_pct}%"
+    );
+    let fresh = gather(Path::new(&fresh_dir))?;
+    let baseline = gather(Path::new(&baseline_dir))?;
+    Ok(compare(&fresh, &baseline, max_regression_pct))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(failures) if failures.is_empty() => {
+            println!("bench_gate: all tracked metrics within threshold");
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            eprintln!("bench_gate: {} metric(s) regressed:", failures.len());
+            for f in &failures {
+                eprintln!("  {f}");
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -208,11 +208,40 @@ fn run_case(case: &Case, points: usize, reps: usize) -> CaseResult {
     }
 }
 
+/// The evaluator's own sampled profile (see `awesym_symbolic::profile`)
+/// as a JSON object: ops/sec plus the per-op-kind mix, the evidence
+/// behind the batch throughput number.
+fn profile_json(indent: &str) -> String {
+    let p = awesym_symbolic::profile::snapshot();
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "{indent}  \"sampled_calls\": {},", p.sampled_calls);
+    let _ = writeln!(s, "{indent}  \"sampled_points\": {},", p.points);
+    let _ = writeln!(s, "{indent}  \"sampled_tape_ops\": {},", p.tape_ops);
+    let _ = writeln!(s, "{indent}  \"sampled_nanos\": {},", p.nanos);
+    let _ = writeln!(s, "{indent}  \"ops_per_sec\": {:e},", p.ops_per_sec());
+    let _ = writeln!(s, "{indent}  \"points_per_sec\": {:e},", p.points_per_sec());
+    s.push_str(indent);
+    s.push_str("  \"ops_by_kind\": {");
+    let mut first = true;
+    for (kind, n) in p.ops_by_kind {
+        if !first {
+            s.push_str(", ");
+        }
+        first = false;
+        let _ = write!(s, "\"{kind}\": {n}");
+    }
+    s.push_str("}\n");
+    s.push_str(indent);
+    s.push('}');
+    s
+}
+
 fn json_report(points: usize, reps: usize, results: &[CaseResult]) -> String {
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"bench\": \"tape\",");
     let _ = writeln!(s, "  \"points\": {points},");
     let _ = writeln!(s, "  \"reps\": {reps},");
+    let _ = writeln!(s, "  \"evaluator_profile\": {},", profile_json("  "));
     let _ = writeln!(
         s,
         "  \"gates\": {{\"min_reduction_pct\": {MIN_REDUCTION_PCT}, \"min_batch_speedup\": {MIN_BATCH_SPEEDUP}, \"tolerance\": {TOL:e}}},"
@@ -242,13 +271,30 @@ fn json_report(points: usize, reps: usize, results: &[CaseResult]) -> String {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    if let Some(bad) = args.iter().find(|a| *a != "--smoke") {
-        panic!("unknown argument '{bad}' (only --smoke is accepted)");
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => {}
+            "--out" => {
+                out_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| panic!("--out needs a path"))
+                        .clone(),
+                )
+            }
+            bad => panic!("unknown argument '{bad}' (--smoke, --out PATH)"),
+        }
     }
-    let (segments, points, reps) = if smoke { (60, 512, 3) } else { (200, 4096, 5) };
+    // Full mode takes the median of 15 reps: each timed pass is only
+    // ~100 µs, so reps are nearly free next to the workload compiles,
+    // and the wider median keeps the bench_gate comparison stable.
+    let (segments, points, reps) = if smoke { (60, 512, 3) } else { (200, 4096, 15) };
 
     println!("compiling workloads at opt levels none/full…");
     let cases = build_cases(segments);
+    // Scope the evaluator profile to the case runs (not compilation).
+    awesym_symbolic::profile::reset();
     let results: Vec<CaseResult> = cases.iter().map(|c| run_case(c, points, reps)).collect();
 
     println!(
@@ -272,8 +318,13 @@ fn main() {
         }
     }
 
-    let out = Path::new("results").join("BENCH_tape.json");
-    std::fs::create_dir_all("results").expect("create results dir");
+    let out = out_path.map_or_else(
+        || Path::new("results").join("BENCH_tape.json"),
+        std::path::PathBuf::from,
+    );
+    if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir).expect("create output dir");
+    }
     std::fs::write(&out, json_report(points, reps, &results)).expect("write report");
     println!("\nwrote {}", out.display());
 

@@ -53,10 +53,13 @@ USAGE:
                (.awesym writes the versioned, checksummed artifact format)
   awesym eval  --model file.{json,awesym} --values v1,v2,...
   awesym serve [--capacity n] [--deadline-ms t] [--max-batch n]
-               [--max-inflight n]
+               [--max-inflight n] [--stats-every n]
                newline-delimited-JSON request loop on stdin/stdout: load,
                compile, save, eval, batch, stats, shutdown (see
-               docs/serving.md; limits in docs/robustness.md)
+               docs/serving.md; limits in docs/robustness.md).
+               --stats-every n emits a stats NDJSON line (with per-stage
+               latency breakdown) to stderr every n requests
+               (docs/observability.md)
   awesym op        <netlist>     DC operating point (supports D/Q cards)
   awesym linearize <netlist> [--out small.sp]
                                  bias + emit the small-signal netlist
@@ -91,6 +94,7 @@ struct Opts {
     deadline_ms: Option<u64>,
     max_batch: Option<usize>,
     max_inflight: Option<usize>,
+    stats_every: u64,
 }
 
 fn parse_opts(args: &[&str]) -> Result<Opts, String> {
@@ -114,6 +118,7 @@ fn parse_opts(args: &[&str]) -> Result<Opts, String> {
         deadline_ms: None,
         max_batch: None,
         max_inflight: None,
+        stats_every: 0,
     };
     let mut it = args.iter().copied().peekable();
     while let Some(a) = it.next() {
@@ -193,6 +198,11 @@ fn parse_opts(args: &[&str]) -> Result<Opts, String> {
                         .parse()
                         .map_err(|e| format!("bad --max-inflight: {e}"))?,
                 )
+            }
+            "--stats-every" => {
+                o.stats_every = grab("--stats-every")?
+                    .parse()
+                    .map_err(|e| format!("bad --stats-every: {e}"))?
             }
             "--opt-level" => {
                 o.opt_level = grab("--opt-level")?
@@ -441,12 +451,15 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
         deadline_ms: o.deadline_ms,
         max_batch_points: o.max_batch.unwrap_or(defaults.max_batch_points),
         max_inflight: o.max_inflight.unwrap_or(defaults.max_inflight),
+        stats_every: o.stats_every,
         ..defaults
     });
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
+    // Periodic stats go to stderr: stdout is the NDJSON response stream
+    // and must stay strictly request/response.
     server
-        .serve(stdin.lock(), stdout.lock())
+        .serve_with_stats(stdin.lock(), stdout.lock(), std::io::stderr().lock())
         .map_err(|e| format!("serve transport error: {e}"))?;
     let snap = server.registry().stats();
     // Stdout carries the NDJSON response stream; keep the human-readable
@@ -696,6 +709,7 @@ mod tests {
             ("--deadline-ms", "bad --deadline-ms"),
             ("--max-batch", "bad --max-batch"),
             ("--max-inflight", "bad --max-inflight"),
+            ("--stats-every", "bad --stats-every"),
         ] {
             assert!(run(&["serve", flag, "x"]).unwrap_err().contains(msg));
             assert!(run(&["serve", flag]).unwrap_err().contains("missing value"));

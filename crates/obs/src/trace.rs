@@ -1,0 +1,242 @@
+//! Structured span tracing with a drainable ring-buffer sink.
+//!
+//! A [`Tracer`] records named spans — enter/exit pairs collapsed to
+//! `(start_ns, dur_ns)` against the process monotonic epoch
+//! ([`crate::now_ns`]) — tagged with a stable per-thread ordinal and a
+//! global sequence number. Records land in a fixed-capacity ring buffer:
+//! when full, the oldest records are overwritten and counted as
+//! `dropped`, so the hot path never blocks on a slow consumer.
+//!
+//! Two recording styles:
+//!
+//! - scoped: [`Tracer::span`] returns a [`SpanGuard`] that records on
+//!   drop — for code where the span brackets a lexical scope;
+//! - explicit: [`Tracer::record`] takes `(name, start_ns, dur_ns)`
+//!   directly — for stage breakdowns measured with plain `Instant`s and
+//!   emitted later in canonical order (the serve loop does this so its
+//!   five stage spans always appear as parse → lookup → eval → degrade →
+//!   serialize regardless of measurement nesting).
+//!
+//! A disabled tracer ([`Tracer::set_enabled`]) skips the clock reads and
+//! the ring push entirely; the guard becomes a no-op. This is how the
+//! benches measure the observability layer's own overhead.
+
+use crate::{json_escape, now_ns};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (static so recording never allocates for the label).
+    pub name: &'static str,
+    /// Start, nanoseconds since the process epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Stable ordinal of the recording thread (not the OS tid).
+    pub thread: u64,
+    /// Global record sequence number (drain order tie-breaker).
+    pub seq: u64,
+}
+
+impl SpanRecord {
+    /// The record as one NDJSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        s.push_str("{\"span\":");
+        json_escape(&mut s, self.name);
+        s.push_str(&format!(
+            ",\"start_ns\":{},\"dur_ns\":{},\"thread\":{},\"seq\":{}}}",
+            self.start_ns, self.dur_ns, self.thread, self.seq
+        ));
+        s
+    }
+}
+
+/// Stable small ordinal for the current thread.
+///
+/// `std::thread::ThreadId` has no stable integer accessor, so threads
+/// draw one from a process counter the first time they record.
+pub fn thread_ordinal() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static ORDINAL: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ORDINAL.with(|o| *o)
+}
+
+struct Ring {
+    buf: VecDeque<SpanRecord>,
+    cap: usize,
+}
+
+/// The span sink: bounded, overwriting, drainable.
+pub struct Tracer {
+    enabled: AtomicBool,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    ring: Mutex<Ring>,
+}
+
+impl Tracer {
+    /// A tracer holding at most `capacity` records (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        Tracer {
+            enabled: AtomicBool::new(true),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            ring: Mutex::new(Ring {
+                buf: VecDeque::with_capacity(cap),
+                cap,
+            }),
+        }
+    }
+
+    /// Is recording on?
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns recording on or off. Off is a true no-op path: no clock
+    /// reads, no locking.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Records cumulatively overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Opens a scoped span; the guard records on drop.
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        if !self.enabled() {
+            return SpanGuard { inner: None };
+        }
+        SpanGuard {
+            inner: Some((self, name, now_ns())),
+        }
+    }
+
+    /// Records one completed span explicitly.
+    pub fn record(&self, name: &'static str, start_ns: u64, dur_ns: u64) {
+        if !self.enabled() {
+            return;
+        }
+        let rec = SpanRecord {
+            name,
+            start_ns,
+            dur_ns,
+            thread: thread_ordinal(),
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+        };
+        let Ok(mut ring) = self.ring.lock() else {
+            return; // poisoned: a panicking recorder loses its span, nothing else
+        };
+        if ring.buf.len() == ring.cap {
+            ring.buf.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.buf.push_back(rec);
+    }
+
+    /// Removes and returns every buffered record, oldest first.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        match self.ring.lock() {
+            Ok(mut ring) => ring.buf.drain(..).collect(),
+            Err(_) => Vec::new(),
+        }
+    }
+
+    /// Drains the buffer as NDJSON, one record per line (possibly empty).
+    pub fn drain_ndjson(&self) -> String {
+        let mut out = String::new();
+        for rec in self.drain() {
+            out.push_str(&rec.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Records its span on drop; a no-op when the tracer was disabled.
+pub struct SpanGuard<'t> {
+    inner: Option<(&'t Tracer, &'static str, u64)>,
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((tracer, name, start)) = self.inner.take() {
+            tracer.record(name, start, now_ns().saturating_sub(start));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_spans_record_in_order() {
+        let t = Tracer::new(16);
+        {
+            let _a = t.span("outer");
+            let _b = t.span("inner");
+        } // inner drops first
+        let recs = t.drain();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].name, "inner");
+        assert_eq!(recs[1].name, "outer");
+        assert!(recs[0].seq < recs[1].seq);
+        assert!(recs[1].start_ns <= recs[0].start_ns);
+        assert!(t.drain().is_empty(), "drain empties the ring");
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let t = Tracer::new(3);
+        for i in 0..5 {
+            t.record(["a", "b", "c", "d", "e"][i], i as u64, 1);
+        }
+        assert_eq!(t.dropped(), 2);
+        let names: Vec<_> = t.drain().iter().map(|r| r.name).collect();
+        assert_eq!(names, ["c", "d", "e"]);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::new(8);
+        t.set_enabled(false);
+        {
+            let _g = t.span("ghost");
+        }
+        t.record("ghost", 0, 1);
+        assert!(t.drain().is_empty());
+        t.set_enabled(true);
+        t.record("real", 0, 1);
+        assert_eq!(t.drain().len(), 1);
+    }
+
+    #[test]
+    fn ndjson_lines_parse_shape() {
+        let t = Tracer::new(4);
+        t.record("parse", 10, 20);
+        let text = t.drain_ndjson();
+        let line = text.lines().next().unwrap();
+        assert!(line.starts_with("{\"span\":\"parse\""), "{line}");
+        assert!(line.contains("\"start_ns\":10"));
+        assert!(line.contains("\"dur_ns\":20"));
+        assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn thread_ordinals_are_distinct() {
+        let main = thread_ordinal();
+        let other = std::thread::spawn(thread_ordinal).join().unwrap();
+        assert_ne!(main, other);
+        assert_eq!(main, thread_ordinal(), "stable per thread");
+    }
+}

@@ -1,0 +1,115 @@
+//! Exactness of the lock-free metrics under concurrency, mirroring the
+//! serve crate's `stats_concurrency` suite: 8 threads hammer shared
+//! counters and histograms and every single update must be visible in
+//! the final snapshot — relaxed ordering trades *ordering* guarantees,
+//! never *counting* ones.
+
+use awesym_obs::{Histogram, Registry, Tracer};
+use std::sync::Arc;
+
+const THREADS: usize = 8;
+const PER_THREAD: u64 = 10_000;
+
+#[test]
+fn counters_are_exact_under_8_threads() {
+    let reg = Registry::new();
+    let counter = reg.counter("hits");
+    let gauge = reg.gauge("level");
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let counter = Arc::clone(&counter);
+            let gauge = Arc::clone(&gauge);
+            s.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    counter.inc();
+                    gauge.add(1);
+                    gauge.add(-1);
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), THREADS as u64 * PER_THREAD);
+    assert_eq!(gauge.get(), 0);
+}
+
+#[test]
+fn histogram_count_and_buckets_are_exact_under_8_threads() {
+    let h = Histogram::new(&[9, 99, 999]);
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let h = &h;
+            s.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Deterministic spread across all four buckets.
+                    h.observe((i * 7 + t as u64) % 2000);
+                }
+            });
+        }
+    });
+    let total = THREADS as u64 * PER_THREAD;
+    let snap = h.snapshot();
+    assert_eq!(snap.count, total);
+    let bucket_sum: u64 = snap.buckets.iter().map(|&(_, c)| c).sum();
+    assert_eq!(bucket_sum, total, "every observation landed in a bucket");
+    // Recompute the expected distribution serially and compare exactly.
+    let expect = Histogram::new(&[9, 99, 999]);
+    for t in 0..THREADS as u64 {
+        for i in 0..PER_THREAD {
+            expect.observe((i * 7 + t) % 2000);
+        }
+    }
+    assert_eq!(snap, expect.snapshot());
+}
+
+#[test]
+fn registry_registration_races_converge_on_one_handle() {
+    let reg = Registry::new();
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let reg = &reg;
+            s.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    reg.counter("shared").inc();
+                }
+            });
+        }
+    });
+    assert_eq!(reg.counter("shared").get(), THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn histogram_bucket_boundaries() {
+    let h = Histogram::new(&[0, 1, 1_000]);
+    for v in [0, 1, 2, 999, 1_000, 1_001, u64::MAX] {
+        h.observe(v);
+    }
+    let snap = h.snapshot();
+    assert_eq!(
+        snap.buckets,
+        vec![
+            (Some(0), 1),     // exactly 0
+            (Some(1), 1),     // exactly the edge: inclusive
+            (Some(1_000), 3), // 2, 999, 1000
+            (None, 2),        // 1001 and u64::MAX overflow
+        ]
+    );
+}
+
+#[test]
+fn tracer_accepts_concurrent_recorders_without_losing_more_than_capacity() {
+    let t = Tracer::new(256);
+    std::thread::scope(|s| {
+        for _ in 0..THREADS {
+            let t = &t;
+            s.spawn(move || {
+                for i in 0..1_000u64 {
+                    t.record("w", i, 1);
+                }
+            });
+        }
+    });
+    let recorded = t.drain().len() as u64;
+    let total = THREADS as u64 * 1_000;
+    assert_eq!(recorded, 256, "ring keeps exactly its capacity");
+    assert_eq!(t.dropped(), total - 256);
+}

@@ -4,7 +4,7 @@
 //! (a flat tape replay plus a tiny Padé solve), so fanning a batch of
 //! points across threads is embarrassingly parallel: each worker owns a
 //! disjoint slice of the result vector and a private
-//! [`Evaluator`](awesym_partition::Evaluator) (which carries its own
+//! [`Evaluator`] (which carries its own
 //! scratch), and the shared model is only read. Results always come back
 //! in input order, and a bad point (wrong arity, unstable ROM, …) yields
 //! a per-point [`PointError`] instead of aborting the batch. Moment-only
@@ -23,7 +23,7 @@
 //!   cooperatively between points and marks unevaluated points
 //!   `deadline_exceeded` instead of running arbitrarily long;
 //! - **fault injection** — with the `fault-injection` feature, installed
-//!   [`crate::faults`] plans inject panics, NaN moments, and slowdowns per
+//!   `crate::faults` plans inject panics, NaN moments, and slowdowns per
 //!   point, deterministically.
 
 use crate::error::{partition_code, PointError};
@@ -458,7 +458,7 @@ pub fn evaluate_batch(
 
 /// As [`evaluate_batch`], with a cooperative deadline and health
 /// counters. Workers check the deadline between points (every
-/// [`CHECK_STRIDE`] points on the fast path); once it expires, remaining
+/// `CHECK_STRIDE` points on the fast path); once it expires, remaining
 /// points are marked `deadline_exceeded` instead of being evaluated, so a
 /// runaway request bounds its own latency.
 pub fn evaluate_batch_guarded(

@@ -18,7 +18,7 @@
 //! panics are caught and isolated, numeric ill-health degrades gracefully
 //! to lower approximation orders, requests carry deadlines and the server
 //! sheds load past its in-flight budget — see `docs/robustness.md` and,
-//! under the `fault-injection` feature, the deterministic [`faults`]
+//! under the `fault-injection` feature, the deterministic `faults`
 //! harness that proves it.
 
 #![forbid(unsafe_code)]
@@ -48,4 +48,4 @@ pub use batch::{
 pub use error::{ErrorCode, PointError, ServeError};
 pub use registry::{ModelRegistry, RegistryStats};
 pub use server::{Response, Server, ServerConfig, DEFAULT_CAPACITY};
-pub use stats::{ServerStats, StatsSnapshot};
+pub use stats::{ServerStats, Stage, StageSnapshot, StatsSnapshot, STAGES};

@@ -29,8 +29,9 @@
 
 use crate::batch::{evaluate_batch_guarded, BatchOutput, PointValue};
 use crate::registry::ModelRegistry;
-use crate::stats::ServerStats;
+use crate::stats::{ServerStats, Stage, STAGES};
 use crate::{artifact, resolve, ServeError};
+use awesym_obs::{now_ns, Tracer};
 use awesym_partition::{CompiledModel, Degradation};
 use serde::Content;
 use std::io::{BufRead, Write};
@@ -60,6 +61,14 @@ pub struct ServerConfig {
     pub max_inflight: usize,
     /// Backoff hint returned with `overloaded` errors.
     pub retry_after_ms: u64,
+    /// Observe per-stage request timing (clock reads, stage histograms,
+    /// stage spans). On by default; turning it off removes every
+    /// per-request clock read except the latency counter — the benches
+    /// flip this to measure the observability layer's own overhead.
+    pub observe: bool,
+    /// Emit one NDJSON stats line to the stats sink every `N` handled
+    /// requests during [`Server::serve_with_stats`]; `0` disables.
+    pub stats_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +80,8 @@ impl Default for ServerConfig {
             deadline_ms: None,
             max_inflight: 0,
             retry_after_ms: 50,
+            observe: true,
+            stats_every: 0,
         }
     }
 }
@@ -91,7 +102,11 @@ pub struct Server {
     stats: ServerStats,
     config: ServerConfig,
     inflight: AtomicUsize,
+    tracer: Tracer,
 }
+
+/// Spans the tracer ring holds before overwriting the oldest.
+const TRACE_CAPACITY: usize = 1024;
 
 /// RAII decrement of the in-flight counter.
 struct InflightGuard<'a>(&'a AtomicUsize);
@@ -99,6 +114,44 @@ struct InflightGuard<'a>(&'a AtomicUsize);
 impl Drop for InflightGuard<'_> {
     fn drop(&mut self) {
         self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Accumulates one request's per-stage wall time.
+///
+/// Each stage slot keeps the start of its *first* interval plus the total
+/// duration across intervals (the serialize stage, for instance, spans
+/// both the per-point result encoding and the final response line). When
+/// observation is off no clock is ever read. The collected spans are
+/// flushed at the end of `handle_line` in canonical pipeline order, so a
+/// drained trace always reads parse → lookup → eval → degrade →
+/// serialize regardless of how measurement nested.
+struct StageClock {
+    enabled: bool,
+    spans: [Option<(u64, u64)>; 5],
+}
+
+impl StageClock {
+    fn new(enabled: bool) -> Self {
+        StageClock {
+            enabled,
+            spans: [None; 5],
+        }
+    }
+
+    /// Runs `f`, charging its wall time to `stage`.
+    fn time<T>(&mut self, stage: Stage, f: impl FnOnce() -> T) -> T {
+        if !self.enabled {
+            return f();
+        }
+        let start = now_ns();
+        let out = f();
+        let dur = now_ns().saturating_sub(start);
+        match &mut self.spans[stage.index()] {
+            Some((_, total)) => *total += dur,
+            slot => *slot = Some((start, dur)),
+        }
+        out
     }
 }
 
@@ -249,11 +302,14 @@ impl Server {
 
     /// A server with explicit operational limits.
     pub fn with_config(config: ServerConfig) -> Self {
+        let tracer = Tracer::new(TRACE_CAPACITY);
+        tracer.set_enabled(config.observe);
         Server {
             registry: ModelRegistry::new(config.capacity),
             stats: ServerStats::new(),
             config,
             inflight: AtomicUsize::new(0),
+            tracer,
         }
     }
 
@@ -265,6 +321,16 @@ impl Server {
     /// The underlying registry (e.g. to pre-load models).
     pub fn registry(&self) -> &ModelRegistry {
         &self.registry
+    }
+
+    /// The server's counters and stage histograms.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The span sink: stage spans land here, drainable as NDJSON.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Claims an in-flight slot for a heavy request, or sheds it when the
@@ -378,8 +444,9 @@ impl Server {
         &self,
         req: &Content,
         deadline: Option<(Instant, u64)>,
+        clock: &mut StageClock,
     ) -> Result<Vec<(&'static str, Content)>, ServeError> {
-        let model = self.model(req)?;
+        let model = clock.time(Stage::Lookup, || self.model(req))?;
         let values = point_from(
             req.get("values").ok_or_else(|| ServeError::BadRequest {
                 what: "missing 'values' array".into(),
@@ -387,14 +454,16 @@ impl Server {
             "'values'",
         )?;
         let kind = output_kind(req)?;
-        let outcome = evaluate_batch_guarded(
-            &model,
-            std::slice::from_ref(&values),
-            &kind,
-            Some(1),
-            deadline.map(|(at, _)| at),
-        );
-        self.record_outcome(&outcome);
+        let outcome = clock.time(Stage::Eval, || {
+            evaluate_batch_guarded(
+                &model,
+                std::slice::from_ref(&values),
+                &kind,
+                Some(1),
+                deadline.map(|(at, _)| at),
+            )
+        });
+        clock.time(Stage::Degrade, || self.record_outcome(&outcome));
         let mut results = outcome.results;
         let result = results.pop().ok_or_else(|| ServeError::Internal {
             what: "batch engine returned no result for a single-point request".into(),
@@ -425,8 +494,9 @@ impl Server {
         &self,
         req: &Content,
         deadline: Option<(Instant, u64)>,
+        clock: &mut StageClock,
     ) -> Result<Vec<(&'static str, Content)>, ServeError> {
-        let model = self.model(req)?;
+        let model = clock.time(Stage::Lookup, || self.model(req))?;
         let raw_points =
             req.get("points")
                 .and_then(Content::as_seq)
@@ -452,23 +522,28 @@ impl Server {
             .and_then(Content::as_u64)
             .map(|v| (v as usize).max(1));
         let t0 = Instant::now();
-        let outcome =
-            evaluate_batch_guarded(&model, &points, &kind, workers, deadline.map(|(at, _)| at));
+        let outcome = clock.time(Stage::Eval, || {
+            evaluate_batch_guarded(&model, &points, &kind, workers, deadline.map(|(at, _)| at))
+        });
         let elapsed = t0.elapsed();
-        self.stats.record_batch(points.len(), elapsed);
-        self.record_outcome(&outcome);
-        let ok_count = outcome.results.iter().filter(|r| r.is_ok()).count();
-        let json: Vec<Content> = outcome
-            .results
-            .iter()
-            .map(|r| match r {
-                Ok(v) => point_value_json(v),
-                Err(e) => obj(vec![
-                    ("error", Content::Str(e.message.clone())),
-                    ("code", Content::Str(e.code.clone())),
-                ]),
-            })
-            .collect();
+        let ok_count = clock.time(Stage::Degrade, || {
+            self.stats.record_batch(points.len(), elapsed);
+            self.record_outcome(&outcome);
+            outcome.results.iter().filter(|r| r.is_ok()).count()
+        });
+        let json: Vec<Content> = clock.time(Stage::Serialize, || {
+            outcome
+                .results
+                .iter()
+                .map(|r| match r {
+                    Ok(v) => point_value_json(v),
+                    Err(e) => obj(vec![
+                        ("error", Content::Str(e.message.clone())),
+                        ("code", Content::Str(e.code.clone())),
+                    ]),
+                })
+                .collect()
+        });
         let secs = elapsed.as_secs_f64();
         let mut fields = vec![
             ("count", Content::U64(points.len() as u64)),
@@ -523,20 +598,23 @@ impl Server {
             return None;
         }
         let t0 = Instant::now();
+        let mut clock = StageClock::new(self.config.observe);
         // Size guard before the parser ever sees the bytes.
-        let req = if line.len() > self.config.max_line_bytes {
-            Err(ServeError::BadRequest {
-                what: format!(
-                    "request line is {} bytes, limit is {}",
-                    line.len(),
-                    self.config.max_line_bytes
-                ),
-            })
-        } else {
-            serde_json::from_str::<Content>(line).map_err(|e| ServeError::BadRequest {
-                what: format!("request is not JSON: {e}"),
-            })
-        };
+        let req = clock.time(Stage::Parse, || {
+            if line.len() > self.config.max_line_bytes {
+                Err(ServeError::BadRequest {
+                    what: format!(
+                        "request line is {} bytes, limit is {}",
+                        line.len(),
+                        self.config.max_line_bytes
+                    ),
+                })
+            } else {
+                serde_json::from_str::<Content>(line).map_err(|e| ServeError::BadRequest {
+                    what: format!("request is not JSON: {e}"),
+                })
+            }
+        });
         let id = req
             .as_ref()
             .ok()
@@ -557,11 +635,11 @@ impl Server {
                 "save" => self.cmd_save(&req),
                 "eval" => {
                     let _slot = self.admit()?;
-                    self.cmd_eval(&req, deadline)
+                    self.cmd_eval(&req, deadline, &mut clock)
                 }
                 "batch" => {
                     let _slot = self.admit()?;
-                    self.cmd_batch(&req, deadline)
+                    self.cmd_batch(&req, deadline, &mut clock)
                 }
                 "stats" => self.cmd_stats(),
                 "shutdown" => {
@@ -592,9 +670,36 @@ impl Server {
             }
         }
         self.stats.record_request(t0.elapsed(), ok);
-        let text = serde_json::to_string(&obj(fields))
-            .unwrap_or_else(|e| format!("{{\"ok\":false,\"error\":\"encoding: {e}\"}}"));
+        let text = clock.time(Stage::Serialize, || {
+            serde_json::to_string(&obj(fields))
+                .unwrap_or_else(|e| format!("{{\"ok\":false,\"error\":\"encoding: {e}\"}}"))
+        });
+        // Flush the collected stage times in canonical pipeline order, so
+        // a drained trace always reads parse → lookup → eval → degrade →
+        // serialize (requests skip stages they never reached).
+        for stage in STAGES {
+            if let Some((start, dur)) = clock.spans[stage.index()] {
+                self.stats.record_stage(stage, dur);
+                self.tracer.record(stage.as_str(), start, dur);
+            }
+        }
         Some(Response { text, shutdown })
+    }
+
+    /// One NDJSON stats line: the server snapshot (with per-stage
+    /// breakdown), registry counters, and how many trace spans the ring
+    /// has overwritten.
+    pub fn stats_line(&self) -> String {
+        let server = serde_json::to_value(&self.stats.snapshot()).unwrap_or(Content::Null);
+        let registry = serde_json::to_value(&self.registry.stats()).unwrap_or(Content::Null);
+        let line = obj(vec![
+            ("stats", Content::Bool(true)),
+            ("server", server),
+            ("registry", registry),
+            ("spans_dropped", Content::U64(self.tracer.dropped())),
+        ]);
+        serde_json::to_string(&line)
+            .unwrap_or_else(|e| format!("{{\"stats\":true,\"error\":\"encoding: {e}\"}}"))
     }
 
     /// Runs the NDJSON loop until EOF or a `shutdown` request.
@@ -602,13 +707,40 @@ impl Server {
     /// # Errors
     ///
     /// Propagates transport read/write failures.
-    pub fn serve<R: BufRead, W: Write>(&self, reader: R, mut writer: W) -> std::io::Result<()> {
+    pub fn serve<R: BufRead, W: Write>(&self, reader: R, writer: W) -> std::io::Result<()> {
+        self.serve_with_stats(reader, writer, std::io::sink())
+    }
+
+    /// As [`Server::serve`], but additionally writes one NDJSON stats
+    /// line (see [`Server::stats_line`]) to `stats_out` every
+    /// [`ServerConfig::stats_every`] handled requests. The stats stream
+    /// is separate from the response stream so programmatic clients
+    /// reading responses never see an unsolicited line — `awesym serve
+    /// --stats-every N` routes it to stderr.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport read/write failures (on either stream).
+    pub fn serve_with_stats<R: BufRead, W: Write, S: Write>(
+        &self,
+        reader: R,
+        mut writer: W,
+        mut stats_out: S,
+    ) -> std::io::Result<()> {
+        let every = self.config.stats_every;
+        let mut handled: u64 = 0;
         for line in reader.lines() {
             let line = line?;
             if let Some(resp) = self.handle_line(&line) {
                 writer.write_all(resp.text.as_bytes())?;
                 writer.write_all(b"\n")?;
                 writer.flush()?;
+                handled += 1;
+                if every > 0 && handled.is_multiple_of(every) {
+                    stats_out.write_all(self.stats_line().as_bytes())?;
+                    stats_out.write_all(b"\n")?;
+                    stats_out.flush()?;
+                }
                 if resp.shutdown {
                     break;
                 }
@@ -878,6 +1010,109 @@ mod tests {
         let r = s.handle_line(r#"{"cmd":"nope","id":"abc"}"#).unwrap();
         let c = parse(&r);
         assert_eq!(c.get("id").and_then(Content::as_str), Some("abc"));
+    }
+
+    #[test]
+    fn batch_request_emits_stage_spans_in_canonical_order() {
+        let s = Server::default();
+        s.handle_line(&compile_req("m")).unwrap();
+        s.tracer().drain(); // discard the compile request's spans
+        let r = s
+            .handle_line(r#"{"cmd":"batch","model":"m","points":[[1e-9,1e3],[2e-9,2e3]]}"#)
+            .unwrap();
+        assert!(ok_of(&parse(&r)), "{}", r.text);
+        let spans = s.tracer().drain();
+        let names: Vec<&str> = spans.iter().map(|rec| rec.name).collect();
+        assert_eq!(
+            names,
+            ["parse", "lookup", "eval", "degrade", "serialize"],
+            "one span per stage, pipeline order"
+        );
+        // Starts are monotone in pipeline order and durations are sane.
+        for pair in spans.windows(2) {
+            assert!(pair[0].start_ns <= pair[1].start_ns, "{names:?}");
+        }
+        assert!(spans.iter().all(|rec| rec.dur_ns > 0 || rec.name != "eval"));
+        // The same stages landed in the histograms (the compile request
+        // contributed one extra parse and serialize observation).
+        let snap = s.stats.snapshot();
+        let counts: Vec<u64> = snap.stages.iter().map(|st| st.count).collect();
+        assert_eq!(counts, [2, 1, 1, 1, 2], "{:?}", snap.stages);
+    }
+
+    #[test]
+    fn failed_lookup_skips_downstream_stages() {
+        let s = Server::default();
+        let r = s
+            .handle_line(r#"{"cmd":"eval","model":"ghost","values":[1.0]}"#)
+            .unwrap();
+        assert!(!ok_of(&parse(&r)));
+        let names: Vec<&str> = s.tracer().drain().iter().map(|rec| rec.name).collect();
+        assert_eq!(names, ["parse", "lookup", "serialize"]);
+        let snap = s.stats.snapshot();
+        assert_eq!(snap.stages[2].count, 0, "eval never ran");
+        assert_eq!(snap.stages[3].count, 0, "degrade never ran");
+    }
+
+    #[test]
+    fn observe_off_records_no_stages_or_spans() {
+        let s = Server::with_config(ServerConfig {
+            observe: false,
+            ..ServerConfig::default()
+        });
+        s.handle_line(&compile_req("m")).unwrap();
+        let r = s
+            .handle_line(r#"{"cmd":"batch","model":"m","points":[[1e-9,1e3]]}"#)
+            .unwrap();
+        assert!(ok_of(&parse(&r)), "{}", r.text);
+        assert!(s.tracer().drain().is_empty());
+        let snap = s.stats.snapshot();
+        assert!(snap.stages.iter().all(|st| st.count == 0), "{snap:?}");
+        // Plain request accounting still works.
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.batch_points, 1);
+    }
+
+    #[test]
+    fn stats_every_emits_periodic_ndjson_lines() {
+        let s = Server::with_config(ServerConfig {
+            stats_every: 2,
+            ..ServerConfig::default()
+        });
+        let mut input = compile_req("m");
+        input.push('\n');
+        for _ in 0..3 {
+            input.push_str(r#"{"cmd":"batch","model":"m","points":[[1e-9,1e3],[2e-9,2e3]]}"#);
+            input.push('\n');
+        }
+        let (mut out, mut stats) = (Vec::new(), Vec::new());
+        s.serve_with_stats(input.as_bytes(), &mut out, &mut stats)
+            .unwrap();
+        assert_eq!(String::from_utf8(out).unwrap().lines().count(), 4);
+        let stats = String::from_utf8(stats).unwrap();
+        let lines: Vec<&str> = stats.lines().collect();
+        assert_eq!(lines.len(), 2, "4 requests / every-2 = 2 lines\n{stats}");
+        for l in &lines {
+            let c: Content = serde_json::from_str(l).unwrap();
+            assert_eq!(c.get("stats").and_then(Content::as_bool), Some(true));
+            let server = c.get("server").unwrap();
+            let stages = server.get("stages").and_then(Content::as_seq).unwrap();
+            assert_eq!(stages.len(), 5, "{l}");
+            assert!(c.get("registry").is_some());
+        }
+        // The last line reflects all three batch requests' eval stages.
+        let last: Content = serde_json::from_str(lines[1]).unwrap();
+        let stages = last
+            .get("server")
+            .and_then(|s| s.get("stages"))
+            .and_then(Content::as_seq)
+            .unwrap();
+        let eval = stages
+            .iter()
+            .find(|st| st.get("stage").and_then(Content::as_str) == Some("eval"))
+            .unwrap();
+        assert_eq!(eval.get("count").and_then(Content::as_u64), Some(3));
+        assert!(eval.get("total_ns").and_then(Content::as_u64).unwrap() > 0);
     }
 
     #[test]

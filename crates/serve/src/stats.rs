@@ -1,6 +1,20 @@
-//! Lock-free request counters and latency histogram for the server.
+//! Server request counters, latency histogram, and per-stage breakdown.
+//!
+//! Built on the [`awesym_obs`] metrics registry: every counter and
+//! histogram here is a named metric with a lock-free atomic hot path, so
+//! the request path never blocks on accounting, and the whole set can be
+//! drained as NDJSON ([`ServerStats::metrics_ndjson`]) in addition to
+//! the structured [`StatsSnapshot`] the `stats` command returns.
+//!
+//! Request time is additionally broken down by pipeline stage — `parse`
+//! → `lookup` → `eval` → `degrade` → `serialize` (see [`Stage`]) — with
+//! one nanosecond-bucketed histogram per stage. This is the per-stage
+//! evidence behind the paper's microseconds-per-evaluation claim: the
+//! `eval` stage is where the compiled-tape time goes, and everything
+//! else is overhead the server must keep small.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use awesym_obs::{Counter, Histogram, Registry};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Upper edges of the latency histogram buckets, in microseconds; an
@@ -10,6 +24,59 @@ const BUCKET_EDGES_US: [u64; 6] = [10, 100, 1_000, 10_000, 100_000, 1_000_000];
 /// Number of histogram buckets (the edges plus the overflow bucket).
 pub const NUM_BUCKETS: usize = BUCKET_EDGES_US.len() + 1;
 
+/// Upper edges of the per-stage histograms, in nanoseconds (1µs … 100ms,
+/// decade steps); an implicit unbounded bucket follows.
+const STAGE_EDGES_NS: [u64; 6] = [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
+
+/// The serve loop's request pipeline stages, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Size guard plus JSON parse of the request line.
+    Parse,
+    /// Model-registry lookup.
+    Lookup,
+    /// Batch/point evaluation (tape replay and any ROM solves).
+    Eval,
+    /// Post-evaluation health accounting: degradations, panics,
+    /// deadline bookkeeping.
+    Degrade,
+    /// Response encoding back to a JSON line.
+    Serialize,
+}
+
+/// Every stage, in pipeline order.
+pub const STAGES: [Stage; 5] = [
+    Stage::Parse,
+    Stage::Lookup,
+    Stage::Eval,
+    Stage::Degrade,
+    Stage::Serialize,
+];
+
+impl Stage {
+    /// Stable lowercase name (span and metric naming).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Lookup => "lookup",
+            Stage::Eval => "eval",
+            Stage::Degrade => "degrade",
+            Stage::Serialize => "serialize",
+        }
+    }
+
+    /// Index into per-stage arrays (pipeline order).
+    pub fn index(self) -> usize {
+        match self {
+            Stage::Parse => 0,
+            Stage::Lookup => 1,
+            Stage::Eval => 2,
+            Stage::Degrade => 3,
+            Stage::Serialize => 4,
+        }
+    }
+}
+
 /// One histogram bucket in a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct LatencyBucket {
@@ -17,6 +84,21 @@ pub struct LatencyBucket {
     pub le: String,
     /// Requests that completed within this bucket.
     pub count: u64,
+}
+
+/// One pipeline stage's latency summary.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StageSnapshot {
+    /// Stage name (`parse`, `lookup`, `eval`, `degrade`, `serialize`).
+    pub stage: String,
+    /// Requests that passed through this stage.
+    pub count: u64,
+    /// Total nanoseconds spent in this stage.
+    pub total_ns: u64,
+    /// Mean nanoseconds per request in this stage.
+    pub mean_ns: f64,
+    /// Nanosecond-bucketed latency histogram for this stage.
+    pub buckets: Vec<LatencyBucket>,
 }
 
 /// Point-in-time view of the server counters.
@@ -42,94 +124,165 @@ pub struct StatsSnapshot {
     pub requests_shed: u64,
     /// Points whose ROM fit degraded to a lower approximation order.
     pub degradations: u64,
+    /// Per-stage request-time breakdown, in pipeline order (only stages
+    /// a request passed through are counted).
+    pub stages: Vec<StageSnapshot>,
 }
 
 /// Atomic counters; cheap to update from the request path.
-#[derive(Default)]
+///
+/// Internally every metric is registered by name in an
+/// [`awesym_obs::Registry`] — [`ServerStats::metrics_ndjson`] drains the
+/// lot as NDJSON for external scrapers, while [`ServerStats::snapshot`]
+/// keeps the stable structured shape the `stats` command documents.
 pub struct ServerStats {
-    requests: AtomicU64,
-    errors: AtomicU64,
-    buckets: [AtomicU64; NUM_BUCKETS],
-    batch_points: AtomicU64,
-    batch_nanos: AtomicU64,
-    panics_caught: AtomicU64,
-    deadlines_exceeded: AtomicU64,
-    requests_shed: AtomicU64,
-    degradations: AtomicU64,
+    registry: Registry,
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    latency: Arc<Histogram>,
+    batch_points: Arc<Counter>,
+    batch_nanos: Arc<Counter>,
+    panics_caught: Arc<Counter>,
+    deadlines_exceeded: Arc<Counter>,
+    requests_shed: Arc<Counter>,
+    degradations: Arc<Counter>,
+    stages: [Arc<Histogram>; 5],
 }
 
-fn bucket_label(i: usize) -> String {
-    match BUCKET_EDGES_US.get(i) {
-        Some(&us) if us < 1_000 => format!("{us}us"),
-        Some(&us) if us < 1_000_000 => format!("{}ms", us / 1_000),
-        Some(&us) => format!("{}s", us / 1_000_000),
+fn bucket_label(edge: Option<u64>) -> String {
+    match edge {
+        Some(us) if us < 1_000 => format!("{us}us"),
+        Some(us) if us < 1_000_000 => format!("{}ms", us / 1_000),
+        Some(us) => format!("{}s", us / 1_000_000),
         None => "inf".to_string(),
+    }
+}
+
+fn ns_label(edge: Option<u64>) -> String {
+    match edge {
+        Some(ns) if ns < 1_000 => format!("{ns}ns"),
+        Some(ns) if ns < 1_000_000 => format!("{}us", ns / 1_000),
+        Some(ns) if ns < 1_000_000_000 => format!("{}ms", ns / 1_000_000),
+        Some(ns) => format!("{}s", ns / 1_000_000_000),
+        None => "inf".to_string(),
+    }
+}
+
+fn buckets_of(h: &Histogram, label: fn(Option<u64>) -> String) -> Vec<LatencyBucket> {
+    h.snapshot()
+        .buckets
+        .into_iter()
+        .map(|(edge, count)| LatencyBucket {
+            le: label(edge),
+            count,
+        })
+        .collect()
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
 impl ServerStats {
     /// Fresh zeroed counters.
     pub fn new() -> Self {
-        Self::default()
+        let registry = Registry::new();
+        let stages = STAGES.map(|s| {
+            registry.histogram(&format!("request_stage_{}_ns", s.as_str()), &STAGE_EDGES_NS)
+        });
+        ServerStats {
+            requests: registry.counter("requests_total"),
+            errors: registry.counter("request_errors_total"),
+            latency: registry.histogram("request_latency_us", &BUCKET_EDGES_US),
+            batch_points: registry.counter("batch_points_total"),
+            batch_nanos: registry.counter("batch_eval_ns_total"),
+            panics_caught: registry.counter("panics_caught_total"),
+            deadlines_exceeded: registry.counter("deadlines_exceeded_total"),
+            requests_shed: registry.counter("requests_shed_total"),
+            degradations: registry.counter("degradations_total"),
+            stages,
+            registry,
+        }
+    }
+
+    /// The underlying named-metric registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Every metric as NDJSON, one line per metric (scraper format; the
+    /// structured [`StatsSnapshot`] is the API format).
+    pub fn metrics_ndjson(&self) -> String {
+        self.registry.to_ndjson()
     }
 
     /// Records one handled request and its latency.
     pub fn record_request(&self, latency: Duration, ok: bool) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
         if !ok {
-            self.errors.fetch_add(1, Ordering::Relaxed);
+            self.errors.inc();
         }
-        let us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
-        let idx = BUCKET_EDGES_US
-            .iter()
-            .position(|&edge| us <= edge)
-            .unwrap_or(NUM_BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.latency
+            .observe(u64::try_from(latency.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Records time spent in one pipeline stage of a request.
+    pub fn record_stage(&self, stage: Stage, dur_ns: u64) {
+        self.stages[stage.index()].observe(dur_ns);
     }
 
     /// Records a completed batch: how many points, how long the
     /// evaluation took.
     pub fn record_batch(&self, points: usize, elapsed: Duration) {
-        self.batch_points
-            .fetch_add(points as u64, Ordering::Relaxed);
-        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
-        self.batch_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.batch_points.add(points as u64);
+        self.batch_nanos
+            .add(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
     }
 
     /// Records `n` per-point panics caught by the batch engine.
     pub fn record_panics_caught(&self, n: u64) {
-        self.panics_caught.fetch_add(n, Ordering::Relaxed);
+        self.panics_caught.add(n);
     }
 
     /// Records one request cut short by its deadline.
     pub fn record_deadline_exceeded(&self) {
-        self.deadlines_exceeded.fetch_add(1, Ordering::Relaxed);
+        self.deadlines_exceeded.inc();
     }
 
     /// Records one request shed at the in-flight budget.
     pub fn record_request_shed(&self) {
-        self.requests_shed.fetch_add(1, Ordering::Relaxed);
+        self.requests_shed.inc();
     }
 
     /// Records `n` points served at a degraded approximation order.
     pub fn record_degradations(&self, n: u64) {
-        self.degradations.fetch_add(n, Ordering::Relaxed);
+        self.degradations.add(n);
     }
 
     /// Snapshots every counter.
     pub fn snapshot(&self) -> StatsSnapshot {
-        let latency = (0..NUM_BUCKETS)
-            .map(|i| LatencyBucket {
-                le: bucket_label(i),
-                count: self.buckets[i].load(Ordering::Relaxed),
+        let batch_points = self.batch_points.get();
+        let batch_secs = self.batch_nanos.get() as f64 * 1e-9;
+        let stages = STAGES
+            .iter()
+            .map(|&stage| {
+                let h = &self.stages[stage.index()];
+                let snap = h.snapshot();
+                StageSnapshot {
+                    stage: stage.as_str().to_string(),
+                    count: snap.count,
+                    total_ns: snap.sum,
+                    mean_ns: snap.mean(),
+                    buckets: buckets_of(h, ns_label),
+                }
             })
             .collect();
-        let batch_points = self.batch_points.load(Ordering::Relaxed);
-        let batch_secs = self.batch_nanos.load(Ordering::Relaxed) as f64 * 1e-9;
         StatsSnapshot {
-            requests: self.requests.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            latency,
+            requests: self.requests.get(),
+            errors: self.errors.get(),
+            latency: buckets_of(&self.latency, bucket_label),
             batch_points,
             batch_secs,
             batch_points_per_sec: if batch_secs > 0.0 {
@@ -137,10 +290,11 @@ impl ServerStats {
             } else {
                 0.0
             },
-            panics_caught: self.panics_caught.load(Ordering::Relaxed),
-            deadlines_exceeded: self.deadlines_exceeded.load(Ordering::Relaxed),
-            requests_shed: self.requests_shed.load(Ordering::Relaxed),
-            degradations: self.degradations.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.get(),
+            deadlines_exceeded: self.deadlines_exceeded.get(),
+            requests_shed: self.requests_shed.get(),
+            degradations: self.degradations.get(),
+            stages,
         }
     }
 }
@@ -179,10 +333,51 @@ mod tests {
 
     #[test]
     fn labels_are_human_readable() {
-        let labels: Vec<String> = (0..NUM_BUCKETS).map(bucket_label).collect();
+        let s = ServerStats::new();
+        let labels: Vec<String> = s.snapshot().latency.into_iter().map(|b| b.le).collect();
         assert_eq!(
             labels,
             ["10us", "100us", "1ms", "10ms", "100ms", "1s", "inf"]
         );
+    }
+
+    #[test]
+    fn stage_breakdown_tracks_each_stage_independently() {
+        let s = ServerStats::new();
+        s.record_stage(Stage::Parse, 500);
+        s.record_stage(Stage::Parse, 1_500);
+        s.record_stage(Stage::Eval, 2_000_000);
+        let snap = s.snapshot();
+        assert_eq!(snap.stages.len(), 5);
+        let names: Vec<&str> = snap.stages.iter().map(|st| st.stage.as_str()).collect();
+        assert_eq!(names, ["parse", "lookup", "eval", "degrade", "serialize"]);
+        let parse = &snap.stages[0];
+        assert_eq!(parse.count, 2);
+        assert_eq!(parse.total_ns, 2_000);
+        assert!((parse.mean_ns - 1_000.0).abs() < 1e-9);
+        assert_eq!(parse.buckets[0].le, "1us");
+        assert_eq!(parse.buckets[0].count, 1, "500ns is within 1us");
+        assert_eq!(parse.buckets[1].count, 1, "1500ns is within 10us");
+        let eval = &snap.stages[2];
+        assert_eq!(eval.count, 1);
+        assert_eq!(eval.buckets[3].le, "1ms");
+        assert_eq!(eval.buckets[3].count, 0, "2ms exceeds the 1ms bucket");
+        assert_eq!(eval.buckets[4].le, "10ms");
+        assert_eq!(eval.buckets[4].count, 1);
+        assert_eq!(snap.stages[1].count, 0, "lookup untouched");
+    }
+
+    #[test]
+    fn metrics_drain_as_ndjson() {
+        let s = ServerStats::new();
+        s.record_request(Duration::from_micros(5), true);
+        s.record_stage(Stage::Eval, 42);
+        let text = s.metrics_ndjson();
+        assert!(text.contains("\"metric\":\"requests_total\",\"type\":\"counter\",\"value\":1"));
+        assert!(text.contains("\"metric\":\"request_stage_eval_ns\""));
+        // One line per metric, all valid JSON objects.
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
     }
 }

@@ -7,9 +7,10 @@
 //! operands hot across the whole block so the compiler can autovectorize
 //! the inner lane loop.
 
-use crate::CompiledFn;
+use crate::{profile, CompiledFn};
 use std::cell::RefCell;
 use std::fmt;
+use std::time::Instant;
 
 /// Points per SoA block in [`Evaluator::eval_batch`].
 pub const LANES: usize = 8;
@@ -157,6 +158,9 @@ impl<'m> Evaluator<'m> {
     pub fn eval_into(&self, vals: &[f64], out: &mut [f64]) {
         assert_eq!(vals.len(), self.n_inputs(), "value vector length mismatch");
         assert_eq!(out.len(), self.n_outputs(), "output slice length mismatch");
+        // Sampled profiling hook (see `profile`): steady-state cost is one
+        // relaxed atomic increment; admitted calls pay two clock reads.
+        let t0 = profile::SAMPLER.sample().then(Instant::now);
         let mut regs = self.scratch.borrow_mut();
         self.fun.tape().replay(vals, &mut regs);
         let k = self.fun.n_outputs();
@@ -167,6 +171,9 @@ impl<'m> Evaluator<'m> {
             for (i, o) in out[k..].iter_mut().enumerate() {
                 *o = t.eval_row(i, vals);
             }
+        }
+        if let Some(t0) = t0 {
+            profile::record(self.fun.tape(), 1, t0.elapsed());
         }
     }
 
@@ -230,6 +237,9 @@ impl<'m> Evaluator<'m> {
         }
         let tape = self.fun.tape();
         let k = self.fun.n_outputs();
+        // Sampled profiling: the whole batch counts as one call, so the
+        // per-op tally is one tape walk scaled by the point count.
+        let t0 = profile::SAMPLER.sample().then(Instant::now);
         let full = points.len() / LANES * LANES;
         if full > 0 {
             let mut xb = vec![0.0; n_in.max(1) * LANES];
@@ -259,6 +269,9 @@ impl<'m> Evaluator<'m> {
             .zip(out[full * n_out..].chunks_exact_mut(n_out))
         {
             self.eval_into(p, row);
+        }
+        if let Some(t0) = t0 {
+            profile::record(tape, points.len(), t0.elapsed());
         }
         Ok(())
     }

@@ -45,6 +45,7 @@ mod eval;
 mod expr;
 mod mpoly;
 pub mod opt;
+pub mod profile;
 mod ratio;
 mod smat;
 mod symbols;

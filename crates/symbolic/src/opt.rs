@@ -20,7 +20,7 @@
 use crate::{Tape, TapeOp};
 use std::collections::HashMap;
 
-/// How aggressively [`optimize`] rewrites the tape.
+/// How aggressively the tape optimizer rewrites the tape.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize,
 )]

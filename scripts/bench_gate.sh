@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Benchmark regression gate: run tape_bench and serve_bench fresh (into
+# target/bench_fresh/, never touching the committed baselines), then
+# compare against results/BENCH_tape.json and results/BENCH_serve.json.
+# Fails when any tracked throughput metric regresses by more than 15 %
+# (override with BENCH_GATE_MAX_REGRESSION_PCT or the gate's
+# --max-regression-pct flag).
+#
+# The fresh serve run uses fewer points/reps to keep CI wall-clock low;
+# per-point throughput metrics are size-independent, which is what makes
+# the comparison meaningful. The tape run must use the full workload —
+# its case names encode the segment count, and the gate matches fresh
+# cases to baseline cases by name.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FRESH_DIR="target/bench_fresh"
+mkdir -p "${FRESH_DIR}"
+
+echo "==> bench_gate: fresh tape_bench"
+cargo run --release -p awesym-bench --bin tape_bench -- \
+  --out "${FRESH_DIR}/BENCH_tape.json"
+
+echo "==> bench_gate: fresh serve_bench (reduced points)"
+cargo run --release -p awesym-bench --bin serve_bench -- \
+  --points 1000 --reps 15 --segments 200 --out "${FRESH_DIR}/BENCH_serve.json"
+
+echo "==> bench_gate: compare vs results/ baselines"
+cargo run --release -p awesym-bench --bin bench_gate -- \
+  --fresh "${FRESH_DIR}" --baseline results

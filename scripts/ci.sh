@@ -1,25 +1,47 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: build, test, formatting, and lints for the whole
-# workspace. Run from the repository root; fails fast on the first error.
+# Tier-1 CI gate: build, test, formatting, lints, docs, fault suite, and
+# benchmark gates for the whole workspace. Run from the repository root;
+# fails fast on the first error, reporting which step failed and how long
+# each completed step took.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release"
-cargo build --release
+CURRENT_STEP="(startup)"
+trap 'echo "==> CI FAILED in step: ${CURRENT_STEP}" >&2' ERR
 
-echo "==> cargo test -q"
-cargo test -q
+step() {
+  CURRENT_STEP="$1"
+  shift
+  echo "==> ${CURRENT_STEP}"
+  local t0 t1
+  t0=$(date +%s)
+  "$@"
+  t1=$(date +%s)
+  echo "    (${CURRENT_STEP}: $((t1 - t0))s)"
+}
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+step "cargo build --release" cargo build --release
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace -- -D warnings
+step "cargo test -q" cargo test -q
 
-echo "==> fault_suite (deterministic fault injection, fixed seeds)"
-cargo test -p awesym-serve --features fault-injection -q
+step "cargo fmt --check" cargo fmt --check
 
-echo "==> tape optimizer smoke (op-count, agreement, and throughput gates)"
-cargo run --release -p awesym-bench --bin tape_bench -- --smoke
+step "cargo clippy --workspace -- -D warnings" \
+  cargo clippy --workspace -- -D warnings
+
+step "cargo doc --no-deps (rustdoc warnings are errors)" \
+  env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+
+step "fault_suite (deterministic fault injection, fixed seeds)" \
+  cargo test -p awesym-serve --features fault-injection -q
+
+# --out keeps the smoke run's report away from the committed baseline in
+# results/, which only full bench runs may regenerate.
+step "tape optimizer smoke (op-count, agreement, and throughput gates)" \
+  cargo run --release -p awesym-bench --bin tape_bench -- --smoke \
+  --out target/bench_smoke/BENCH_tape.json
+
+step "bench regression gate (fresh runs vs results/ baselines)" \
+  scripts/bench_gate.sh
 
 echo "==> CI green"
