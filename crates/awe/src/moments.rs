@@ -223,8 +223,8 @@ mod tests {
         let mom = eng.compute(4).unwrap();
         let ys = eng.adjoint_vectors(4);
         let b = eng.b.clone();
-        for j in 0..4 {
-            let yb = dot(&ys[j], &b);
+        for (j, y) in ys.iter().enumerate().take(4) {
+            let yb = dot(y, &b);
             assert!((yb - mom.m[j]).abs() < 1e-12 * mom.m[j].abs().max(1.0));
         }
     }

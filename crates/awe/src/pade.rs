@@ -164,9 +164,9 @@ mod tests {
         };
         let scaled = pade_rom(&m, 3, true).unwrap();
         let e_scaled = dom_err(&scaled);
-        match pade_rom(&m, 3, false) {
-            Ok(unscaled) => assert!(e_scaled <= dom_err(&unscaled) * 10.0),
-            Err(_) => {} // outright failure is the expected alternative
+        // outright failure of the unscaled solve is the expected alternative
+        if let Ok(unscaled) = pade_rom(&m, 3, false) {
+            assert!(e_scaled <= dom_err(&unscaled) * 10.0);
         }
         assert!(e_scaled < 1e-6);
     }
@@ -221,7 +221,7 @@ mod tests {
                 for (pp, kk) in [(p, k), (p.conj(), k.conj())] {
                     let mut d = Complex64::ONE;
                     for _ in 0..=j {
-                        d = d * pp;
+                        d *= pp;
                     }
                     num += kk / d;
                 }

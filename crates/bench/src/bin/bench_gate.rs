@@ -13,7 +13,19 @@
 //!
 //! - `BENCH_tape.json`: per-case `batch_points_per_sec`;
 //! - `BENCH_serve.json`: per-case `single_points_per_sec` and the best
-//!   batch `points_per_sec` across worker counts.
+//!   batch `points_per_sec` across worker counts;
+//! - `BENCH_timing.json`: per-worker-count `samples_per_sec`.
+//!
+//! The fresh `BENCH_timing.json` additionally carries two structural
+//! checks that are not baseline comparisons:
+//!
+//! - `deterministic_across_workers` must be `true` (bit-identical Monte
+//!   Carlo summaries at every worker count);
+//! - the measured multi-worker speedup must reach a core-count-aware
+//!   floor, `min(4.0, 0.5 × min(8, host_cpus))`, using the `host_cpus`
+//!   recorded in the report. On an 8-core host this enforces the full 4x
+//!   at 8 workers; a 1-core container (where parallel speedup is
+//!   physically impossible) only has to stay near flat.
 //!
 //! Only *regressions* fail; faster-than-baseline results pass (CI hosts
 //! are noisy, so the threshold is deliberately generous — the gate exists
@@ -107,6 +119,74 @@ fn serve_metrics(report: &Content, file: &str) -> Result<Vec<Metric>, String> {
     Ok(out)
 }
 
+/// Tracked metrics of one `BENCH_timing.json` report.
+fn timing_metrics(report: &Content, file: &str) -> Result<Vec<Metric>, String> {
+    let runs = report
+        .get("runs")
+        .and_then(Content::as_seq)
+        .ok_or_else(|| format!("{file}: missing 'runs' array"))?;
+    runs.iter()
+        .map(|run| {
+            let workers = run
+                .get("workers")
+                .and_then(Content::as_f64)
+                .ok_or_else(|| format!("{file}: run missing 'workers'"))?
+                as u64;
+            let label = format!("{file} :: workers={workers} :: samples_per_sec");
+            let points_per_sec = need_f64(run, "samples_per_sec", &label)?;
+            Ok(Metric {
+                label,
+                points_per_sec,
+            })
+        })
+        .collect()
+}
+
+/// Structural checks on the fresh timing report: the determinism flag and
+/// the core-count-aware worker-scaling floor. Returns failure lines.
+fn timing_checks(report: &Content, file: &str) -> Result<Vec<String>, String> {
+    let mut failures = Vec::new();
+    let deterministic = report
+        .get("deterministic_across_workers")
+        .and_then(Content::as_bool)
+        .ok_or_else(|| format!("{file}: missing 'deterministic_across_workers'"))?;
+    if !deterministic {
+        failures.push(format!(
+            "{file}: Monte Carlo summaries differ across worker counts (determinism broken)"
+        ));
+    }
+    let host_cpus = report
+        .get("host_cpus")
+        .and_then(Content::as_f64)
+        .ok_or_else(|| format!("{file}: missing 'host_cpus'"))?;
+    // Full 4x is only achievable with the cores to back it: require half
+    // the usable core count, capped at the 4x target the issue sets for
+    // 8-worker runs on ≥8-core hosts.
+    let required = (0.5 * host_cpus.min(8.0)).min(4.0);
+    let runs = report
+        .get("runs")
+        .and_then(Content::as_seq)
+        .ok_or_else(|| format!("{file}: missing 'runs' array"))?;
+    let best_speedup = runs
+        .iter()
+        .filter_map(|r| r.get("speedup_vs_1").and_then(Content::as_f64))
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !best_speedup.is_finite() {
+        return Err(format!("{file}: no 'speedup_vs_1' in runs"));
+    }
+    println!(
+        "      {file}: deterministic={deterministic}, best speedup {best_speedup:.2}x \
+         (floor {required:.2}x at host_cpus={host_cpus})"
+    );
+    if best_speedup < required {
+        failures.push(format!(
+            "{file}: best worker speedup {best_speedup:.2}x below the \
+             {required:.2}x floor for host_cpus={host_cpus}"
+        ));
+    }
+    Ok(failures)
+}
+
 /// Compares fresh metrics against the baseline; returns human-readable
 /// failure lines (empty = pass).
 fn compare(fresh: &[Metric], baseline: &[Metric], max_regression_pct: f64) -> Vec<String> {
@@ -148,6 +228,10 @@ fn gather(dir: &Path) -> Result<Vec<Metric>, String> {
         &load(&dir.join("BENCH_serve.json"))?,
         "BENCH_serve.json",
     )?);
+    metrics.extend(timing_metrics(
+        &load(&dir.join("BENCH_timing.json"))?,
+        "BENCH_timing.json",
+    )?);
     Ok(metrics)
 }
 
@@ -183,7 +267,12 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
     );
     let fresh = gather(Path::new(&fresh_dir))?;
     let baseline = gather(Path::new(&baseline_dir))?;
-    Ok(compare(&fresh, &baseline, max_regression_pct))
+    let mut failures = timing_checks(
+        &load(&Path::new(&fresh_dir).join("BENCH_timing.json"))?,
+        "BENCH_timing.json",
+    )?;
+    failures.extend(compare(&fresh, &baseline, max_regression_pct));
+    Ok(failures)
 }
 
 fn main() -> ExitCode {

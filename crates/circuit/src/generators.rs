@@ -621,6 +621,48 @@ pub fn h_tree(levels: usize, trunk_r: f64, trunk_c: f64, sink_c: f64) -> Workloa
     }
 }
 
+/// One linearized logic stage for gate-chain timing: a Thevenin driver
+/// resistor `Rdrv` (the switching transistor's linearized on-resistance)
+/// into a lumped RC interconnect of `segments` sections (`r_wire`/`c_wire`
+/// total), terminated by the receiving gate's input capacitance `Cload`.
+/// The observed output is the receiver input node — the stage's 50 % delay
+/// there is the quantity gate-level timing composes along a path.
+///
+/// The driver resistor is named `Rdrv` and the load capacitor `Cload` so
+/// model builders can bind process-variation symbols to them by name.
+///
+/// # Panics
+///
+/// Panics when `segments == 0`.
+pub fn gate_stage(rdrv: f64, segments: usize, r_wire: f64, c_wire: f64, cload: f64) -> Workload {
+    assert!(segments > 0, "stage needs at least one wire segment");
+    let n = segments;
+    let (rs, cs) = (r_wire / n as f64, c_wire / n as f64);
+    let mut c = Circuit::new();
+    let vin = c.node("in");
+    let input = c.add(Element::vsource("vin", vin, Circuit::GROUND, 1.0));
+    let first = c.node("drv");
+    c.add(Element::resistor("Rdrv", vin, first, rdrv));
+    let mut prev = first;
+    for i in 1..=n {
+        let node = c.node(&format!("w{i}"));
+        c.add(Element::resistor(&format!("rw{i}"), prev, node, rs));
+        c.add(Element::capacitor(
+            &format!("cw{i}"),
+            node,
+            Circuit::GROUND,
+            cs,
+        ));
+        prev = node;
+    }
+    c.add(Element::capacitor("Cload", prev, Circuit::GROUND, cload));
+    Workload {
+        circuit: c,
+        input,
+        output: prev,
+    }
+}
+
 /// A lossy RLC transmission line (N lumped RLC segments): exercises the
 /// inductor branch stamps and produces complex pole pairs / ringing.
 ///
@@ -682,6 +724,23 @@ mod tests {
         let w = rc_ladder(10, 1.0, 1e-12);
         assert_eq!(w.circuit.num_elements(), 1 + 20);
         assert_eq!(w.circuit.num_storage_elements(), 10);
+    }
+
+    #[test]
+    fn gate_stage_structure() {
+        let w = gate_stage(120.0, 4, 80.0, 0.4e-12, 5e-15);
+        // vsource + Rdrv + 4×(R,C) + Cload.
+        assert_eq!(w.circuit.num_elements(), 2 + 8 + 1);
+        assert_eq!(w.circuit.num_storage_elements(), 5);
+        assert!(w.circuit.find("Rdrv").is_some());
+        assert!(w.circuit.find("Cload").is_some());
+        assert_eq!(w.circuit.node_name(w.output), "w4");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one wire segment")]
+    fn gate_stage_zero_panics() {
+        gate_stage(1.0, 0, 1.0, 1.0, 1.0);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub fn run(args: &[&str]) -> Result<String, String> {
         "model" => cmd_model(&rest),
         "eval" => cmd_eval(&rest),
         "serve" => cmd_serve(&rest),
+        "timing" => cmd_timing(&rest),
         "op" => cmd_op(&rest),
         "linearize" => cmd_linearize(&rest),
         "ac" => cmd_ac(&rest),
@@ -60,6 +61,15 @@ USAGE:
                --stats-every n emits a stats NDJSON line (with per-stage
                latency breakdown) to stderr every n requests
                (docs/observability.md)
+  awesym timing [chain.json] [--stages n] [--samples n] [--block n]
+               [--workers n] [--seed s] [--deadline secs] [--metric m]
+               [--order q]
+               compiles a gate chain (spec file, or a uniform n-stage
+               chain) and streams a Monte Carlo yield analysis through
+               the persistent-pool batch engine; NDJSON report on stdout
+               (docs/timing.md). --samples accepts 1e7-style notation;
+               --metric is elmore|d2m|two-pole; --deadline defaults to
+               1.25x the nominal path delay.
   awesym op        <netlist>     DC operating point (supports D/Q cards)
   awesym linearize <netlist> [--out small.sp]
                                  bias + emit the small-signal netlist
@@ -472,6 +482,142 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
     Ok(String::new())
 }
 
+/// Parses a sample count that may use scientific notation (`1e7`).
+fn parse_count(s: &str) -> Result<u64, String> {
+    if let Ok(n) = s.parse::<u64>() {
+        return Ok(n);
+    }
+    let f: f64 = s
+        .parse()
+        .map_err(|e| format!("bad sample count '{s}': {e}"))?;
+    if !(f.is_finite() && (1.0..=1e15).contains(&f) && f.fract() == 0.0) {
+        return Err(format!("bad sample count '{s}' (need a whole number)"));
+    }
+    Ok(f as u64)
+}
+
+fn cmd_timing(args: &[&str]) -> Result<String, String> {
+    use awesym_timing::{ChainSpec, GateChain, McConfig, McEngine, QuantileGrid};
+
+    // Timing has its own flag set; the shared Opts doesn't fit.
+    let mut spec_path: Option<String> = None;
+    let mut stages = 8usize;
+    let mut samples = 100_000u64;
+    let mut block = McConfig::DEFAULT_BLOCK;
+    let mut workers = 1usize;
+    let mut seed = 42u64;
+    let mut deadline: Option<f64> = None;
+    let mut metric: Option<awesym_timing::DelayMetric> = None;
+    let mut order: Option<usize> = None;
+    let mut it = args.iter().copied();
+    while let Some(a) = it.next() {
+        let mut grab = |name: &str| -> Result<String, String> {
+            it.next()
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        let num = |name: &str, v: String| -> Result<usize, String> {
+            v.parse().map_err(|e| format!("bad {name} '{v}': {e}"))
+        };
+        match a {
+            "--stages" => stages = num("--stages", grab("--stages")?)?,
+            "--samples" => samples = parse_count(&grab("--samples")?)?,
+            "--block" => block = num("--block", grab("--block")?)?,
+            "--workers" => workers = num("--workers", grab("--workers")?)?,
+            "--seed" => {
+                let v = grab("--seed")?;
+                seed = v.parse().map_err(|e| format!("bad --seed '{v}': {e}"))?;
+            }
+            "--deadline" => {
+                let v = grab("--deadline")?;
+                deadline = Some(
+                    v.parse()
+                        .map_err(|e| format!("bad --deadline '{v}': {e}"))?,
+                );
+            }
+            "--metric" => metric = Some(grab("--metric")?.parse()?),
+            "--order" => order = Some(num("--order", grab("--order")?)?),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            path if spec_path.is_none() => spec_path = Some(path.to_string()),
+            extra => return Err(format!("unexpected argument '{extra}'")),
+        }
+    }
+    if stages == 0 {
+        return Err("--stages must be positive".into());
+    }
+    if workers == 0 || block == 0 || samples == 0 {
+        return Err("--workers, --block and --samples must be positive".into());
+    }
+
+    let mut spec = match &spec_path {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            serde_json::from_str::<ChainSpec>(&text)
+                .map_err(|e| format!("bad chain spec {path}: {e}"))?
+        }
+        None => ChainSpec::uniform(stages),
+    };
+    if let Some(m) = metric {
+        spec.metric = m;
+    }
+    if let Some(q) = order {
+        spec.order = q;
+    }
+
+    let chain = GateChain::compile(&spec).map_err(|e| e.to_string())?;
+    let nominal = chain.nominal_delay();
+    let deadline = deadline.unwrap_or(1.25 * nominal);
+    let grid = QuantileGrid::around(nominal, 64.0, QuantileGrid::DEFAULT_BINS);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"kind\":\"chain\",\"stages\":{},\"order\":{},\"metric\":{},\"tape_ops\":{},\"nominal_delay_s\":{:e}}}",
+        chain.stages().len(),
+        spec.order,
+        serde_json::to_string(&spec.metric).map_err(|e| e.to_string())?,
+        chain.op_count(),
+        nominal,
+    );
+
+    let registry = awesym_obs::Registry::new();
+    let engine = McEngine::new(std::sync::Arc::new(chain), workers, &registry);
+    let cfg = McConfig::new(samples, seed, grid)
+        .with_block_size(block)
+        .with_deadline(deadline);
+    let report = engine.run(&cfg);
+    let s = &report.summary;
+    let _ = writeln!(
+        out,
+        "{{\"kind\":\"yield_report\",\"samples\":{},\"valid\":{},\"invalid\":{},\"blocks\":{},\
+         \"mean_s\":{:e},\"std_dev_s\":{:e},\"min_s\":{:e},\"max_s\":{:e},\
+         \"p50_s\":{:e},\"p95_s\":{:e},\"p997_s\":{:e},\
+         \"deadline_s\":{:e},\"yield\":{:.6},\
+         \"workers\":{},\"seed\":{},\"block_size\":{},\"wall_s\":{:.3},\"samples_per_sec\":{:.0}}}",
+        s.samples,
+        s.valid,
+        s.invalid,
+        s.blocks,
+        s.mean,
+        s.std_dev,
+        s.min,
+        s.max,
+        s.p50.unwrap_or(f64::NAN),
+        s.p95.unwrap_or(f64::NAN),
+        s.p997.unwrap_or(f64::NAN),
+        deadline,
+        s.yield_fraction.unwrap_or(f64::NAN),
+        report.workers,
+        seed,
+        block,
+        report.wall_secs,
+        report.samples_per_sec,
+    );
+    out.push_str(&registry.to_ndjson());
+    Ok(out)
+}
+
 fn load_nonlinear(o: &Opts) -> Result<crate::NonlinearCircuit, String> {
     let path = o.netlist.as_ref().ok_or("missing netlist path")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -625,6 +771,81 @@ mod tests {
         let (_d, path) = write_demo_netlist();
         let out = run(&["lint", &path]).unwrap();
         assert!(out.contains("clean"), "{out}");
+    }
+
+    #[test]
+    fn timing_command_uniform_chain() {
+        let out = run(&[
+            "timing",
+            "--stages",
+            "3",
+            "--samples",
+            "1e3",
+            "--block",
+            "128",
+            "--workers",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("\"kind\":\"chain\",\"stages\":3"), "{out}");
+        assert!(
+            out.contains("\"kind\":\"yield_report\",\"samples\":1000"),
+            "{out}"
+        );
+        assert!(out.contains("\"metric\":\"mc_samples_total\""), "{out}");
+        // Every stdout line is one JSON object (NDJSON contract).
+        for line in out.lines() {
+            serde_json::from_str::<serde_json::Value>(line)
+                .unwrap_or_else(|e| panic!("non-JSON line '{line}': {e}"));
+        }
+    }
+
+    #[test]
+    fn timing_command_spec_file_and_determinism() {
+        let dir = tempdir::TempDirLite::new("awesym_cli_timing");
+        let path = dir.path().join("chain.json");
+        let mut spec = awesym_timing::ChainSpec::uniform(2);
+        for s in &mut spec.stages {
+            s.segments = 2;
+        }
+        std::fs::write(&path, serde_json::to_string(&spec).unwrap()).unwrap();
+        let p = path.to_string_lossy().into_owned();
+        let args = |workers: &'static str| {
+            vec![
+                "timing".to_string(),
+                p.clone(),
+                "--samples".into(),
+                "500".into(),
+                "--workers".into(),
+                workers.into(),
+                "--seed".into(),
+                "7".into(),
+            ]
+        };
+        let report_line = |out: &str| {
+            out.lines()
+                .find(|l| l.contains("yield_report"))
+                .unwrap()
+                .split("\"workers\"")
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        let a1 = args("1");
+        let a4 = args("4");
+        let r1 = run(&a1.iter().map(String::as_str).collect::<Vec<_>>()).unwrap();
+        let r4 = run(&a4.iter().map(String::as_str).collect::<Vec<_>>()).unwrap();
+        // Identical statistics (the part before the worker count) at 1 and
+        // 4 workers — the CLI surface of the determinism guarantee.
+        assert_eq!(report_line(&r1), report_line(&r4));
+    }
+
+    #[test]
+    fn timing_command_rejects_bad_args() {
+        assert!(run(&["timing", "--samples", "1.5"]).is_err());
+        assert!(run(&["timing", "--metric", "bogus"]).is_err());
+        assert!(run(&["timing", "--stages", "0"]).is_err());
+        assert!(run(&["timing", "--frobnicate"]).is_err());
     }
 
     #[test]

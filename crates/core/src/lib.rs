@@ -51,7 +51,9 @@
 
 #![forbid(unsafe_code)]
 
-pub use awesym_awe::{pade_rom, AweAnalysis, AweError, MomentEngine, Rom};
+pub use awesym_awe::{
+    delay_estimates, pade_rom, AweAnalysis, AweError, DelayEstimates, MomentEngine, Rom,
+};
 pub use awesym_circuit::{
     generators, parse_spice, parse_value, Circuit, Element, ElementId, ElementKind, Node,
 };
@@ -73,6 +75,10 @@ pub use awesym_serve::{
 };
 pub use awesym_symbolic::{
     AffineTail, CompileOptions, CompiledFn, Evaluator, ExprGraph, MPoly, OptLevel, Ratio, SymbolSet,
+};
+pub use awesym_timing::{
+    BlockRng, ChainSpec, DelayMetric, GateChain, McConfig, McEngine, McReport, QuantileGrid,
+    StageSpec,
 };
 
 pub mod cli;

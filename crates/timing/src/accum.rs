@@ -1,0 +1,513 @@
+//! Online accumulators for streaming Monte Carlo: Welford mean/variance,
+//! fixed-grid log-spaced quantiles, and yield-vs-deadline counters.
+//!
+//! The design goal is the determinism contract of docs/timing.md: a run's
+//! statistics must be **bit-identical at any worker count and any
+//! accumulator merge order**. Floating-point reduction is not associative,
+//! so that property cannot come from merging running sums in arrival
+//! order. Instead:
+//!
+//! - every quantity that merges by *integer addition* (histogram bins,
+//!   yield counters, invalid counts) is merged directly — exact and
+//!   commutative;
+//! - the floating-point moments keep **per-block Welford partials**. Each
+//!   block's partial is computed single-threaded over that block's samples
+//!   in order (deterministic), merging accumulators only concatenates the
+//!   partial lists, and [`YieldAccumulator::finish`] folds the partials in
+//!   ascending block order with Chan's pairwise update. The fold order is
+//!   canonical, so the result cannot depend on which worker ran which
+//!   block or on the merge order.
+//!
+//! Memory is O(samples / block_size): ~48 bytes per block partial plus one
+//! fixed histogram — never a per-sample vector. A 10⁷-sample run at the
+//! default 4096-sample blocks carries ~2.4 k partials (~120 kB).
+
+/// Running mean/variance in Welford form.
+///
+/// `push` is the classic single-pass update; `merge` is Chan et al.'s
+/// pairwise combination. Both are deterministic for a fixed input order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Default for Welford {
+    fn default() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+        }
+    }
+}
+
+impl Welford {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    /// Absorbs another accumulator (Chan's pairwise merge).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = self.n + other.n;
+        let d = other.mean - self.mean;
+        self.mean += d * (other.n as f64 / n as f64);
+        self.m2 += other.m2 + d * d * (self.n as f64 * other.n as f64 / n as f64);
+        self.n = n;
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (`m2 / (n − 1)`; 0 when `n < 2`).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Configuration of the fixed log-spaced quantile grid.
+///
+/// Bin edges are `lo · (hi/lo)^(i/bins)`. Samples below `lo` land in the
+/// first bin, above `hi` in the last (true min/max are tracked exactly, so
+/// clamping is visible). Quantile estimates interpolate within the
+/// crossing bin on the log scale, so the worst-case relative error of an
+/// in-range quantile is one bin's ratio, `(hi/lo)^(1/bins) − 1` — about
+/// 0.34 % for the default span 64 grid at 2048 bins (the documented
+/// tolerance in docs/timing.md).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantileGrid {
+    lo: f64,
+    hi: f64,
+    bins: usize,
+}
+
+impl QuantileGrid {
+    /// Default bin count.
+    pub const DEFAULT_BINS: usize = 2048;
+
+    /// Grid over `[lo, hi]` with `bins` log-spaced bins.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < lo < hi` and `bins >= 2`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo > 0.0 && lo < hi, "need 0 < lo < hi (got {lo}..{hi})");
+        assert!(bins >= 2, "need at least 2 bins");
+        QuantileGrid { lo, hi, bins }
+    }
+
+    /// Grid centered on a nominal value with a `span`-fold reach each way
+    /// (covers `[nominal/span, nominal·span]`) — the form the gate-chain
+    /// builder uses, with `span = 64` swallowing ±6σ of any practical
+    /// process spread.
+    pub fn around(nominal: f64, span: f64, bins: usize) -> Self {
+        assert!(nominal > 0.0 && span > 1.0, "need nominal > 0, span > 1");
+        Self::new(nominal / span, nominal * span, bins)
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Lower edge.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper edge.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// One bin's ratio minus one: the documented worst-case relative error
+    /// of an in-range quantile estimate.
+    pub fn relative_tolerance(&self) -> f64 {
+        (self.hi / self.lo).powf(1.0 / self.bins as f64) - 1.0
+    }
+
+    /// Bin index for a value (clamped into range).
+    #[inline]
+    fn bin_of(&self, x: f64) -> usize {
+        if x <= self.lo {
+            return 0;
+        }
+        if x >= self.hi {
+            return self.bins - 1;
+        }
+        let t = (x / self.lo).ln() / (self.hi / self.lo).ln();
+        ((t * self.bins as f64) as usize).min(self.bins - 1)
+    }
+
+    /// Value at normalized log position `t` ∈ [0, 1].
+    fn value_at(&self, t: f64) -> f64 {
+        self.lo * (self.hi / self.lo).powf(t)
+    }
+}
+
+/// Per-block Welford partial, keyed by block index so the final fold has a
+/// canonical order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockPartial {
+    /// Block index within the run.
+    pub block: u64,
+    /// Welford moments over the block's finite samples, in sample order.
+    pub welford: Welford,
+}
+
+/// The streaming accumulator: one per worker during a run, merged into one
+/// at the end (in any order), then [`YieldAccumulator::finish`]ed.
+#[derive(Debug, Clone)]
+pub struct YieldAccumulator {
+    grid: QuantileGrid,
+    deadline: Option<f64>,
+    hist: Vec<u64>,
+    blocks: Vec<BlockPartial>,
+    yield_pass: u64,
+    invalid: u64,
+    min: f64,
+    max: f64,
+}
+
+impl YieldAccumulator {
+    /// Empty accumulator over the given grid; `deadline` (seconds) enables
+    /// the yield counter.
+    pub fn new(grid: QuantileGrid, deadline: Option<f64>) -> Self {
+        YieldAccumulator {
+            grid,
+            deadline,
+            hist: vec![0; grid.bins()],
+            blocks: Vec::new(),
+            yield_pass: 0,
+            invalid: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The grid this accumulator bins into.
+    pub fn grid(&self) -> &QuantileGrid {
+        &self.grid
+    }
+
+    /// Absorbs one block of sample values. Non-finite or non-positive
+    /// entries (the engine's "sample failed" sentinel) are counted as
+    /// invalid and excluded from every statistic.
+    pub fn push_block(&mut self, block: u64, values: &[f64]) {
+        let mut w = Welford::new();
+        for &x in values {
+            if !x.is_finite() || x <= 0.0 {
+                self.invalid += 1;
+                continue;
+            }
+            w.push(x);
+            self.hist[self.grid.bin_of(x)] += 1;
+            if x < self.min {
+                self.min = x;
+            }
+            if x > self.max {
+                self.max = x;
+            }
+            if let Some(d) = self.deadline {
+                if x <= d {
+                    self.yield_pass += 1;
+                }
+            }
+        }
+        self.blocks.push(BlockPartial { block, welford: w });
+    }
+
+    /// Merges another accumulator (same grid and deadline) into this one.
+    /// Exact and order-independent: histogram/yield/invalid counters add,
+    /// block partial lists concatenate, min/max take extrema.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the grids or deadlines differ.
+    pub fn merge(&mut self, other: &YieldAccumulator) {
+        assert_eq!(self.grid, other.grid, "accumulator grid mismatch");
+        assert_eq!(self.deadline, other.deadline, "deadline mismatch");
+        for (a, b) in self.hist.iter_mut().zip(&other.hist) {
+            *a += b;
+        }
+        self.blocks.extend_from_slice(&other.blocks);
+        self.yield_pass += other.yield_pass;
+        self.invalid += other.invalid;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Quantile estimate from the histogram (`q` ∈ [0, 1]), interpolating
+    /// on the log scale inside the crossing bin. `None` when no valid
+    /// sample has been seen.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total: u64 = self.hist.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        // Rank of the q-quantile among `total` sorted samples (nearest-rank
+        // with interpolation inside the bin).
+        let rank = (q.clamp(0.0, 1.0) * (total - 1) as f64) + 1.0;
+        let mut cum = 0u64;
+        for (i, &c) in self.hist.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if (next as f64) >= rank {
+                let frac = (rank - cum as f64) / c as f64;
+                let t = (i as f64 + frac.clamp(0.0, 1.0)) / self.grid.bins() as f64;
+                // Clamp the estimate into the truly observed range so edge
+                // bins (which also catch out-of-range samples) cannot
+                // report a value outside [min, max].
+                return Some(self.grid.value_at(t).clamp(self.min, self.max));
+            }
+            cum = next;
+        }
+        Some(self.max)
+    }
+
+    /// Folds the per-block partials in ascending block order and reports
+    /// the summary. Deterministic for a given set of blocks regardless of
+    /// insertion or merge order.
+    pub fn finish(&self) -> Summary {
+        let mut blocks = self.blocks.clone();
+        blocks.sort_by_key(|b| b.block);
+        debug_assert!(
+            blocks.windows(2).all(|w| w[0].block != w[1].block),
+            "duplicate block partial"
+        );
+        let mut w = Welford::new();
+        for b in &blocks {
+            w.merge(&b.welford);
+        }
+        let valid = w.count();
+        Summary {
+            samples: valid + self.invalid,
+            valid,
+            invalid: self.invalid,
+            mean: w.mean(),
+            variance: w.variance(),
+            std_dev: w.std_dev(),
+            min: if valid == 0 { f64::NAN } else { self.min },
+            max: if valid == 0 { f64::NAN } else { self.max },
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p997: self.quantile(0.997),
+            yield_fraction: self.deadline.map(|_| {
+                if valid == 0 {
+                    0.0
+                } else {
+                    self.yield_pass as f64 / valid as f64
+                }
+            }),
+            blocks: blocks.len() as u64,
+        }
+    }
+}
+
+/// Final statistics of a streaming run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Total samples seen (valid + invalid).
+    pub samples: u64,
+    /// Samples that produced a finite positive delay.
+    pub valid: u64,
+    /// Samples excluded (non-finite / non-positive delay).
+    pub invalid: u64,
+    /// Mean delay over valid samples.
+    pub mean: f64,
+    /// Unbiased sample variance.
+    pub variance: f64,
+    /// Sample standard deviation.
+    pub std_dev: f64,
+    /// Exact minimum valid delay.
+    pub min: f64,
+    /// Exact maximum valid delay.
+    pub max: f64,
+    /// Median estimate from the fixed grid.
+    pub p50: Option<f64>,
+    /// 95th percentile estimate.
+    pub p95: Option<f64>,
+    /// 99.7th percentile estimate.
+    pub p997: Option<f64>,
+    /// Fraction of valid samples meeting the deadline (when one was set).
+    pub yield_fraction: Option<f64>,
+    /// Number of blocks folded.
+    pub blocks: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::BlockRng;
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let mut r = BlockRng::new(1, 0);
+        let xs: Vec<f64> = (0..10_000).map(|_| 1e-9 * r.log_normal(0.4)).collect();
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() <= 1e-9 * mean.abs());
+        assert!((w.variance() - var).abs() <= 1e-9 * var.abs());
+    }
+
+    #[test]
+    fn welford_merge_matches_single_stream() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.7).sin() + 2.0).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let (a, b) = xs.split_at(313);
+        let (mut wa, mut wb) = (Welford::new(), Welford::new());
+        a.iter().for_each(|&x| wa.push(x));
+        b.iter().for_each(|&x| wb.push(x));
+        wa.merge(&wb);
+        assert_eq!(wa.count(), whole.count());
+        assert!((wa.mean() - whole.mean()).abs() < 1e-12);
+        assert!((wa.variance() - whole.variance()).abs() < 1e-12 * whole.variance());
+    }
+
+    #[test]
+    fn grid_bins_and_tolerance() {
+        let g = QuantileGrid::around(1e-9, 64.0, 2048);
+        assert!(g.lo() < 1e-9 && g.hi() > 1e-9);
+        assert!(g.relative_tolerance() < 0.005, "{}", g.relative_tolerance());
+        assert_eq!(g.bin_of(0.0), 0);
+        assert_eq!(g.bin_of(f64::MAX), g.bins() - 1);
+        // Monotone binning.
+        let mut last = 0;
+        for i in 0..100 {
+            let x = g.lo() * 1.1f64.powi(i);
+            let b = g.bin_of(x.min(g.hi()));
+            assert!(b >= last);
+            last = b;
+        }
+    }
+
+    #[test]
+    fn quantiles_track_sorted_truth() {
+        let grid = QuantileGrid::around(1e-9, 64.0, QuantileGrid::DEFAULT_BINS);
+        let mut acc = YieldAccumulator::new(grid, None);
+        let mut r = BlockRng::new(9, 0);
+        let mut all = Vec::new();
+        for b in 0..10u64 {
+            let vals: Vec<f64> = (0..1000).map(|_| 1e-9 * r.log_normal(0.3)).collect();
+            all.extend_from_slice(&vals);
+            acc.push_block(b, &vals);
+        }
+        all.sort_by(f64::total_cmp);
+        let tol = grid.relative_tolerance();
+        for q in [0.1, 0.5, 0.9, 0.95, 0.997] {
+            let truth = all[((all.len() - 1) as f64 * q) as usize];
+            let est = acc.quantile(q).unwrap();
+            assert!(
+                (est - truth).abs() <= truth * (tol + 1e-3),
+                "q={q}: est {est:e} vs truth {truth:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_samples_are_counted_not_binned() {
+        let grid = QuantileGrid::new(1.0, 10.0, 16);
+        let mut acc = YieldAccumulator::new(grid, Some(3.0));
+        acc.push_block(0, &[2.0, f64::NAN, 4.0, -1.0, f64::INFINITY, 2.5]);
+        let s = acc.finish();
+        assert_eq!(s.valid, 3);
+        assert_eq!(s.invalid, 3);
+        assert_eq!(s.samples, 6);
+        assert_eq!(s.yield_fraction, Some(2.0 / 3.0));
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn merge_any_order_is_bit_identical() {
+        let grid = QuantileGrid::around(1.0, 16.0, 256);
+        let mk = |blocks: &[u64]| {
+            let mut acc = YieldAccumulator::new(grid, Some(1.2));
+            for &b in blocks {
+                let mut r = BlockRng::new(77, b);
+                let vals: Vec<f64> = (0..257).map(|_| r.log_normal(0.5)).collect();
+                acc.push_block(b, &vals);
+            }
+            acc
+        };
+        // Three workers with interleaved block ownership, merged in every
+        // permutation: all summaries identical bit for bit.
+        let parts = [mk(&[0, 3, 6]), mk(&[1, 4, 7]), mk(&[2, 5])];
+        let orders: [[usize; 3]; 6] = [
+            [0, 1, 2],
+            [0, 2, 1],
+            [1, 0, 2],
+            [1, 2, 0],
+            [2, 0, 1],
+            [2, 1, 0],
+        ];
+        let summaries: Vec<Summary> = orders
+            .iter()
+            .map(|ord| {
+                let mut acc = YieldAccumulator::new(grid, Some(1.2));
+                for &i in ord {
+                    acc.merge(&parts[i]);
+                }
+                acc.finish()
+            })
+            .collect();
+        for s in &summaries[1..] {
+            assert_eq!(s, &summaries[0]);
+        }
+        // And identical to a single accumulator that saw every block.
+        let whole = mk(&[0, 1, 2, 3, 4, 5, 6, 7]).finish();
+        assert_eq!(whole, summaries[0]);
+    }
+
+    #[test]
+    fn empty_accumulator_finishes_cleanly() {
+        let s = YieldAccumulator::new(QuantileGrid::new(1.0, 2.0, 8), None).finish();
+        assert_eq!(s.samples, 0);
+        assert_eq!(s.p50, None);
+        assert!(s.min.is_nan());
+        assert_eq!(s.yield_fraction, None);
+    }
+}

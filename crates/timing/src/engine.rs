@@ -1,0 +1,494 @@
+//! Streaming Monte Carlo engine: a persistent worker pool that drives a
+//! compiled task's batch evaluator through fixed-size sample blocks and
+//! folds every block into merge-order-invariant online accumulators.
+//!
+//! ## Determinism contract
+//!
+//! Three properties combine so a run's report is **bit-identical at any
+//! worker count**:
+//!
+//! 1. each block's samples come from a [`BlockRng`](crate::sample::BlockRng)
+//!    keyed only by `(seed, block_index)` — never by thread identity;
+//! 2. workers claim whole blocks from a shared atomic counter (coarse
+//!    work-stealing), so a block's *contents* do not depend on who runs it;
+//! 3. the per-worker [`YieldAccumulator`]s are merge-order invariant (see
+//!    `accum`): integer counters commute exactly, and floating-point
+//!    Welford partials are folded in canonical block order at the end.
+//!
+//! Memory is O(blocks) for the Welford partials plus O(block_size) scratch
+//! per worker — no per-sample vector is ever materialized, so a 10⁷-sample
+//! run costs the same resident memory as a 10⁴-sample one.
+//!
+//! ## Pool lifecycle
+//!
+//! Threads spawn once in [`McEngine::new`] and park on a condvar between
+//! jobs; each [`McEngine::run`] publishes one job (epoch bump), waits for
+//! all workers to check in, and merges their accumulators. Workers build
+//! their [`BlockWorker`] (evaluators + scratch) once at spawn and reuse it
+//! across every job — the pattern `awesym-serve`'s per-request spawning
+//! left on the table (see ROADMAP).
+
+use crate::accum::{QuantileGrid, Summary, YieldAccumulator};
+use awesym_obs::Registry;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// One unit of work: which block, how many samples it holds, and the run
+/// seed. Fully determines the block's sample stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSpec {
+    /// Block index within the run (keys the RNG stream).
+    pub index: u64,
+    /// Samples in this block (the final block may be short).
+    pub count: usize,
+    /// The run seed.
+    pub seed: u64,
+}
+
+/// Per-thread execution state for a task: owns evaluators and scratch,
+/// turns a [`BlockSpec`] into that block's sample values.
+pub trait BlockWorker {
+    /// Fills `out` with the block's `count` sample values. Invalid samples
+    /// are represented as NaN (or any non-finite / non-positive value) —
+    /// the accumulator counts and excludes them.
+    fn run_block(&mut self, block: BlockSpec, out: &mut Vec<f64>);
+}
+
+/// A compiled Monte Carlo task: something that can mint per-thread
+/// workers borrowing its compiled artifacts.
+pub trait McTask: Send + Sync {
+    /// The per-thread worker, borrowing evaluators from `self`.
+    type Worker<'a>: BlockWorker
+    where
+        Self: 'a;
+    /// Builds one worker. Called once per pool thread at spawn; the
+    /// worker is reused across jobs.
+    fn make_worker(&self) -> Self::Worker<'_>;
+}
+
+/// Run parameters for one Monte Carlo job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McConfig {
+    /// Total samples to draw.
+    pub samples: u64,
+    /// Samples per block. Larger blocks amortize tape dispatch; smaller
+    /// blocks steal more evenly. 4096 is a good default for tapes in the
+    /// 10²–10³ op range.
+    pub block_size: usize,
+    /// Run seed.
+    pub seed: u64,
+    /// Pass/fail deadline for the yield counter (same unit as the sample
+    /// values, i.e. seconds for delay tasks). `None` disables yield.
+    pub deadline: Option<f64>,
+    /// Quantile histogram grid.
+    pub grid: QuantileGrid,
+}
+
+impl McConfig {
+    /// Default block size (see [`McConfig::block_size`]).
+    pub const DEFAULT_BLOCK: usize = 4096;
+
+    /// A config with the default block size and no deadline.
+    pub fn new(samples: u64, seed: u64, grid: QuantileGrid) -> Self {
+        McConfig {
+            samples,
+            block_size: Self::DEFAULT_BLOCK,
+            seed,
+            deadline: None,
+            grid,
+        }
+    }
+
+    /// Sets the deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: f64) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `block_size == 0`.
+    #[must_use]
+    pub fn with_block_size(mut self, block_size: usize) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        self.block_size = block_size;
+        self
+    }
+
+    fn n_blocks(&self) -> u64 {
+        self.samples.div_ceil(self.block_size as u64)
+    }
+}
+
+/// A finished run: the statistical [`Summary`] plus throughput facts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct McReport {
+    /// Merged online statistics.
+    pub summary: Summary,
+    /// Wall-clock seconds for the job (excludes compile time).
+    pub wall_secs: f64,
+    /// Samples per wall-clock second.
+    pub samples_per_sec: f64,
+    /// Worker threads in the pool.
+    pub workers: usize,
+}
+
+/// One published job. Workers read everything through the `Arc`; the
+/// atomic counter is the work-stealing frontier.
+struct Job {
+    cfg: McConfig,
+    next_block: Arc<AtomicU64>,
+    n_blocks: u64,
+}
+
+/// Pool state guarded by one mutex: the current job (bumped epoch
+/// publishes it), the shutdown flag, and the per-job result inbox.
+struct Slot {
+    epoch: u64,
+    shutdown: bool,
+    job: Option<Job>,
+    done: usize,
+    results: Vec<YieldAccumulator>,
+}
+
+struct Shared {
+    slot: Mutex<Slot>,
+    start: Condvar,
+    finish: Condvar,
+}
+
+/// Persistent-pool streaming Monte Carlo engine over a compiled task.
+///
+/// Spawns its worker threads once at construction; [`McEngine::run`] can
+/// then be called any number of times (e.g. a benchmark's repetitions)
+/// without paying thread or evaluator setup again. Dropping the engine
+/// shuts the pool down.
+pub struct McEngine<T: McTask + 'static> {
+    task: Arc<T>,
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    metrics: EngineMetrics,
+}
+
+/// The engine's observability surface (all registered on the caller's
+/// [`Registry`]).
+struct EngineMetrics {
+    blocks: Arc<awesym_obs::Counter>,
+    samples: Arc<awesym_obs::Counter>,
+    merges: Arc<awesym_obs::Counter>,
+    block_ns: Arc<awesym_obs::Histogram>,
+    samples_per_sec: Arc<awesym_obs::Gauge>,
+}
+
+/// Block-latency histogram edges: 1 µs … 100 ms in decade-ish steps.
+const BLOCK_NS_EDGES: &[u64] = &[1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
+
+impl<T: McTask + 'static> McEngine<T> {
+    /// Spawns a pool of `workers` threads over `task`. Each thread builds
+    /// its [`BlockWorker`] immediately and parks until the first job.
+    ///
+    /// Metrics (`mc_blocks_total`, `mc_samples_total`, `mc_merges_total`,
+    /// `mc_block_ns`, `mc_samples_per_sec`) register on `registry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `workers == 0`.
+    pub fn new(task: Arc<T>, workers: usize, registry: &Registry) -> Self {
+        assert!(workers > 0, "engine needs at least one worker");
+        let shared = Arc::new(Shared {
+            slot: Mutex::new(Slot {
+                epoch: 0,
+                shutdown: false,
+                job: None,
+                done: 0,
+                results: Vec::new(),
+            }),
+            start: Condvar::new(),
+            finish: Condvar::new(),
+        });
+        let metrics = EngineMetrics {
+            blocks: registry.counter("mc_blocks_total"),
+            samples: registry.counter("mc_samples_total"),
+            merges: registry.counter("mc_merges_total"),
+            block_ns: registry.histogram("mc_block_ns", BLOCK_NS_EDGES),
+            samples_per_sec: registry.gauge("mc_samples_per_sec"),
+        };
+        let handles = (0..workers)
+            .map(|_| {
+                let task = Arc::clone(&task);
+                let shared = Arc::clone(&shared);
+                let blocks_c = Arc::clone(&metrics.blocks);
+                let samples_c = Arc::clone(&metrics.samples);
+                let block_ns = Arc::clone(&metrics.block_ns);
+                std::thread::spawn(move || {
+                    worker_loop(&*task, &shared, &blocks_c, &samples_c, &block_ns);
+                })
+            })
+            .collect();
+        McEngine {
+            task,
+            shared,
+            handles,
+            metrics,
+        }
+    }
+
+    /// The task this engine runs.
+    pub fn task(&self) -> &T {
+        &self.task
+    }
+
+    /// Number of pool threads.
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs one Monte Carlo job to completion and returns the merged
+    /// report. Blocks the calling thread; the pool does the work.
+    pub fn run(&self, cfg: &McConfig) -> McReport {
+        assert!(cfg.block_size > 0, "block size must be positive");
+        let t0 = Instant::now();
+        let n_blocks = cfg.n_blocks();
+        let workers = self.handles.len();
+        {
+            let mut slot = self.shared.slot.lock().unwrap();
+            slot.job = Some(Job {
+                cfg: *cfg,
+                next_block: Arc::new(AtomicU64::new(0)),
+                n_blocks,
+            });
+            slot.done = 0;
+            slot.results = Vec::with_capacity(workers);
+            slot.epoch += 1;
+            self.shared.start.notify_all();
+            // Wait for every worker to deposit its accumulator.
+            while slot.done < workers {
+                slot = self.shared.finish.wait(slot).unwrap();
+            }
+            slot.job = None;
+            let mut results = std::mem::take(&mut slot.results);
+            drop(slot);
+
+            // Deterministic merge: worker deposit order varies run to run,
+            // but the accumulator's merge is order-invariant by
+            // construction, so any order yields bit-identical results.
+            let mut acc = results.pop().expect("at least one worker result");
+            for other in &results {
+                acc.merge(other);
+                self.metrics.merges.inc();
+            }
+            let summary = acc.finish();
+            let wall_secs = t0.elapsed().as_secs_f64();
+            let samples_per_sec = if wall_secs > 0.0 {
+                summary.samples as f64 / wall_secs
+            } else {
+                0.0
+            };
+            self.metrics.samples_per_sec.set(samples_per_sec as i64);
+            McReport {
+                summary,
+                wall_secs,
+                samples_per_sec,
+                workers,
+            }
+        }
+    }
+}
+
+impl<T: McTask + 'static> Drop for McEngine<T> {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.slot.lock().unwrap();
+            slot.shutdown = true;
+            self.shared.start.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            // A worker that panicked already poisoned the run it was part
+            // of; surface it here rather than swallowing.
+            if let Err(e) = h.join() {
+                std::panic::resume_unwind(e);
+            }
+        }
+    }
+}
+
+/// The body each pool thread runs: build the worker once, then serve jobs
+/// until shutdown.
+fn worker_loop<T: McTask>(
+    task: &T,
+    shared: &Shared,
+    blocks_c: &awesym_obs::Counter,
+    samples_c: &awesym_obs::Counter,
+    block_ns: &awesym_obs::Histogram,
+) {
+    let mut worker = task.make_worker();
+    let mut buf: Vec<f64> = Vec::new();
+    let mut seen_epoch = 0u64;
+    loop {
+        // Park until a new job epoch (or shutdown) appears.
+        let (cfg, next_block, n_blocks) = {
+            let mut slot = shared.slot.lock().unwrap();
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.epoch != seen_epoch {
+                    seen_epoch = slot.epoch;
+                    let job = slot.job.as_ref().expect("epoch bump publishes a job");
+                    break (job.cfg, Arc::clone(&job.next_block), job.n_blocks);
+                }
+                slot = shared.start.wait(slot).unwrap();
+            }
+        };
+
+        let mut acc = YieldAccumulator::new(cfg.grid, cfg.deadline);
+        loop {
+            let b = next_block.fetch_add(1, Ordering::Relaxed);
+            if b >= n_blocks {
+                break;
+            }
+            let remaining = cfg.samples - b * cfg.block_size as u64;
+            let count = (cfg.block_size as u64).min(remaining) as usize;
+            let t0 = Instant::now();
+            worker.run_block(
+                BlockSpec {
+                    index: b,
+                    count,
+                    seed: cfg.seed,
+                },
+                &mut buf,
+            );
+            debug_assert_eq!(buf.len(), count, "worker filled the block");
+            acc.push_block(b, &buf);
+            block_ns.observe(t0.elapsed().as_nanos() as u64);
+            blocks_c.inc();
+            samples_c.add(count as u64);
+        }
+
+        let mut slot = shared.slot.lock().unwrap();
+        slot.results.push(acc);
+        slot.done += 1;
+        shared.finish.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A cheap analytic task: sample value = log-normal(0.2) around 1.0.
+    /// Fast enough to run big sample counts in debug tests.
+    struct LogNormalTask;
+
+    struct LnWorker;
+
+    impl BlockWorker for LnWorker {
+        fn run_block(&mut self, block: BlockSpec, out: &mut Vec<f64>) {
+            let mut rng = crate::sample::BlockRng::new(block.seed, block.index);
+            out.clear();
+            out.extend((0..block.count).map(|_| rng.log_normal(0.2)));
+        }
+    }
+
+    impl McTask for LogNormalTask {
+        type Worker<'a> = LnWorker;
+        fn make_worker(&self) -> LnWorker {
+            LnWorker
+        }
+    }
+
+    fn grid() -> QuantileGrid {
+        QuantileGrid::around(1.0, 64.0, 512)
+    }
+
+    fn run_with(workers: usize, samples: u64) -> McReport {
+        let reg = Registry::new();
+        let engine = McEngine::new(Arc::new(LogNormalTask), workers, &reg);
+        let cfg = McConfig::new(samples, 0xD00D, grid())
+            .with_block_size(512)
+            .with_deadline(1.5);
+        engine.run(&cfg)
+    }
+
+    #[test]
+    fn bit_identical_across_worker_counts() {
+        let base = run_with(1, 20_000);
+        for workers in [2, 4, 8] {
+            let r = run_with(workers, 20_000);
+            assert_eq!(r.summary, base.summary, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn statistics_are_sane() {
+        let r = run_with(4, 50_000);
+        let s = &r.summary;
+        assert_eq!(s.samples, 50_000);
+        assert_eq!(s.invalid, 0);
+        // log-normal(σ=0.2): median 1, mean exp(σ²/2) ≈ 1.0202.
+        assert!((s.mean - 1.0202).abs() < 0.01, "mean {}", s.mean);
+        let (p50, p95, p997) = (s.p50.unwrap(), s.p95.unwrap(), s.p997.unwrap());
+        assert!((p50 - 1.0).abs() < 0.02, "p50 {p50}");
+        assert!(p95 > p50 && p997 > p95);
+        // P(x ≤ 1.5) = Φ(ln1.5/0.2) = Φ(2.027) ≈ 0.9787.
+        let y = s.yield_fraction.unwrap();
+        assert!((y - 0.9787).abs() < 0.01, "yield {y}");
+        assert!(r.samples_per_sec > 0.0);
+    }
+
+    #[test]
+    fn engine_is_reusable_across_jobs() {
+        let reg = Registry::new();
+        let engine = McEngine::new(Arc::new(LogNormalTask), 3, &reg);
+        let cfg = McConfig::new(5_000, 7, grid()).with_block_size(256);
+        let a = engine.run(&cfg);
+        let b = engine.run(&cfg);
+        assert_eq!(a.summary, b.summary);
+        let c = engine.run(&McConfig::new(5_000, 8, grid()).with_block_size(256));
+        assert_ne!(c.summary.mean, a.summary.mean);
+        assert_eq!(reg.counter("mc_blocks_total").get(), 60);
+        assert_eq!(reg.counter("mc_samples_total").get(), 15_000);
+    }
+
+    #[test]
+    fn short_final_block_is_exact() {
+        let r = run_with(1, 1_025); // 2 full 512-blocks + 1-sample tail
+        assert_eq!(r.summary.samples, 1_025);
+        assert_eq!(r.summary.blocks, 3);
+    }
+
+    #[test]
+    fn invalid_samples_are_counted_not_propagated() {
+        struct NanTask;
+        struct NanWorker;
+        impl BlockWorker for NanWorker {
+            fn run_block(&mut self, block: BlockSpec, out: &mut Vec<f64>) {
+                out.clear();
+                out.extend((0..block.count).map(|j| {
+                    if j % 10 == 0 {
+                        f64::NAN
+                    } else {
+                        1.0 + j as f64 * 1e-6
+                    }
+                }));
+            }
+        }
+        impl McTask for NanTask {
+            type Worker<'a> = NanWorker;
+            fn make_worker(&self) -> NanWorker {
+                NanWorker
+            }
+        }
+        let reg = Registry::new();
+        let engine = McEngine::new(Arc::new(NanTask), 2, &reg);
+        let r = engine.run(&McConfig::new(1_000, 1, grid()).with_block_size(100));
+        assert_eq!(r.summary.samples, 1_000);
+        assert_eq!(r.summary.invalid, 100);
+        assert_eq!(r.summary.valid, 900);
+        assert!(r.summary.mean.is_finite());
+    }
+}

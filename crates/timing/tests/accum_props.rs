@@ -1,0 +1,106 @@
+//! Property tests for the streaming accumulators (ISSUE satellite c):
+//! Welford vs exact two-pass, grid quantiles vs sort-based truth, and
+//! merge-order invariance under random block partitions.
+
+use awesym_timing::{BlockRng, QuantileGrid, Welford, YieldAccumulator};
+use proptest::prelude::*;
+
+/// Draws `n` log-normal(σ) delays around `scale` from a seeded stream.
+fn delays(seed: u64, n: usize, scale: f64, sigma: f64) -> Vec<f64> {
+    let mut r = BlockRng::new(seed, 0);
+    (0..n).map(|_| scale * r.log_normal(sigma)).collect()
+}
+
+proptest! {
+    /// Welford single-pass mean/variance agree with the exact two-pass
+    /// computation to 1e-9 relative, across scales spanning 18 decades.
+    #[test]
+    fn welford_matches_two_pass(
+        seed in 0u64..1_000_000,
+        n in 2usize..3000,
+        log_scale in -9.0..9.0f64,
+        sigma in 0.01..0.8f64,
+    ) {
+        let xs = delays(seed, n, 10f64.powf(log_scale), sigma);
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64;
+        prop_assert!(
+            (w.mean() - mean).abs() <= 1e-9 * mean.abs(),
+            "mean {} vs {}", w.mean(), mean
+        );
+        prop_assert!(
+            (w.variance() - var).abs() <= 1e-9 * var.max(1e-300),
+            "var {} vs {}", w.variance(), var
+        );
+    }
+
+    /// Grid quantiles track the sort-based truth within the grid's
+    /// documented relative tolerance (plus nearest-rank slack) on large
+    /// random sample sets.
+    #[test]
+    fn quantiles_match_sorted_truth(
+        seed in 0u64..1_000_000,
+        sigma in 0.05..0.6f64,
+    ) {
+        let n = 100_000;
+        let scale = 1e-9;
+        let grid = QuantileGrid::around(scale, 64.0, QuantileGrid::DEFAULT_BINS);
+        let mut acc = YieldAccumulator::new(grid, None);
+        let mut all = Vec::with_capacity(n);
+        let mut r = BlockRng::new(seed, 1);
+        for b in 0..25u64 {
+            let vals: Vec<f64> = (0..n / 25).map(|_| scale * r.log_normal(sigma)).collect();
+            all.extend_from_slice(&vals);
+            acc.push_block(b, &vals);
+        }
+        all.sort_by(f64::total_cmp);
+        let tol = grid.relative_tolerance() + 2e-3;
+        for q in [0.05, 0.5, 0.95, 0.997] {
+            let truth = all[((all.len() - 1) as f64 * q) as usize];
+            let est = acc.quantile(q).unwrap();
+            prop_assert!(
+                (est - truth).abs() <= truth * tol,
+                "q={q}: est {est:e} truth {truth:e} tol {tol}"
+            );
+        }
+    }
+
+    /// Splitting one sample set into random per-worker block subsets and
+    /// merging the workers in rotated order produces a summary that is
+    /// bit-identical to the single-accumulator reference.
+    #[test]
+    fn merge_order_invariance(
+        seed in 0u64..1_000_000,
+        n_blocks in 2u64..40,
+        workers in 2usize..6,
+        rot in 0usize..6,
+    ) {
+        let grid = QuantileGrid::around(1.0, 16.0, 256);
+        let block_vals = |b: u64| -> Vec<f64> {
+            let mut r = BlockRng::new(seed, b);
+            (0..97).map(|_| r.log_normal(0.4)).collect()
+        };
+
+        let mut whole = YieldAccumulator::new(grid, Some(1.3));
+        for b in 0..n_blocks {
+            whole.push_block(b, &block_vals(b));
+        }
+
+        // Deal blocks round-robin to workers, then merge in rotated order.
+        let mut parts: Vec<YieldAccumulator> = (0..workers)
+            .map(|_| YieldAccumulator::new(grid, Some(1.3)))
+            .collect();
+        for b in 0..n_blocks {
+            parts[(b as usize) % workers].push_block(b, &block_vals(b));
+        }
+        let mut acc = YieldAccumulator::new(grid, Some(1.3));
+        for i in 0..workers {
+            acc.merge(&parts[(i + rot) % workers]);
+        }
+        prop_assert_eq!(acc.finish(), whole.finish());
+    }
+}

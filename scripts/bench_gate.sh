@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Benchmark regression gate: run tape_bench and serve_bench fresh (into
-# target/bench_fresh/, never touching the committed baselines), then
-# compare against results/BENCH_tape.json and results/BENCH_serve.json.
+# Benchmark regression gate: run tape_bench, serve_bench and timing_bench
+# fresh (into target/bench_fresh/, never touching the committed
+# baselines), then compare against results/BENCH_tape.json,
+# results/BENCH_serve.json and results/BENCH_timing.json.
 # Fails when any tracked throughput metric regresses by more than 15 %
 # (override with BENCH_GATE_MAX_REGRESSION_PCT or the gate's
 # --max-regression-pct flag).
@@ -24,6 +25,13 @@ cargo run --release -p awesym-bench --bin tape_bench -- \
 echo "==> bench_gate: fresh serve_bench (reduced points)"
 cargo run --release -p awesym-bench --bin serve_bench -- \
   --points 1000 --reps 15 --segments 200 --out "${FRESH_DIR}/BENCH_serve.json"
+
+# Reduced samples for CI wall-clock; samples/s is size-independent. The
+# fresh run also feeds the determinism flag and the core-count-aware
+# worker-scaling check (see bench_gate.rs).
+echo "==> bench_gate: fresh timing_bench (reduced samples)"
+cargo run --release -p awesym-bench --bin timing_bench -- \
+  --samples 2e5 --reps 7 --out "${FRESH_DIR}/BENCH_timing.json"
 
 echo "==> bench_gate: compare vs results/ baselines"
 cargo run --release -p awesym-bench --bin bench_gate -- \

@@ -427,7 +427,7 @@ mod tests {
             0.0f64,
             1.0,
             -1.5e-9,
-            3.14159,
+            3.25625,
             1e300,
             -0.0,
             f64::MIN_POSITIVE,
