@@ -27,6 +27,11 @@
 //!   at 8 workers; a 1-core container (where parallel speedup is
 //!   physically impossible) only has to stay near flat.
 //!
+//! The fresh `BENCH_serve.json` carries one more structural check: the
+//! serialize-stage mean in `observability.stages` must not exceed the
+//! eval-stage mean (the binary wire format keeps response encoding
+//! cheaper than evaluation; see `docs/wire-format.md`).
+//!
 //! Only *regressions* fail; faster-than-baseline results pass (CI hosts
 //! are noisy, so the threshold is deliberately generous — the gate exists
 //! to catch order-of-magnitude slips like an accidental debug-path or
@@ -140,6 +145,40 @@ fn timing_metrics(report: &Content, file: &str) -> Result<Vec<Metric>, String> {
             })
         })
         .collect()
+}
+
+/// Structural check on the fresh serve report: with the binary wire
+/// format driving the canonical stage histograms, serializing a batch
+/// must be cheaper than evaluating it. A serialize-stage mean above the
+/// eval-stage mean means the encoder fell off the columnar fast path
+/// (e.g. someone reintroduced a text round-trip). Returns failure lines.
+fn serve_checks(report: &Content, file: &str) -> Result<Vec<String>, String> {
+    let stages = report
+        .get("observability")
+        .and_then(|o| o.get("stages"))
+        .and_then(Content::as_seq)
+        .ok_or_else(|| format!("{file}: missing 'observability.stages'"))?;
+    let mean_of = |name: &str| -> Result<f64, String> {
+        stages
+            .iter()
+            .find(|s| s.get("stage").and_then(Content::as_str) == Some(name))
+            .and_then(|s| s.get("mean_ns").and_then(Content::as_f64))
+            .ok_or_else(|| format!("{file}: missing '{name}' stage mean"))
+    };
+    let serialize = mean_of("serialize")?;
+    let eval = mean_of("eval")?;
+    println!(
+        "      {file}: serialize mean {serialize:.0} ns vs eval mean {eval:.0} ns \
+         ({:.2}x)",
+        serialize / eval
+    );
+    if serialize > eval {
+        return Ok(vec![format!(
+            "{file}: serialize-stage mean {serialize:.0} ns exceeds eval-stage mean \
+             {eval:.0} ns — response encoding is no longer cheaper than evaluation"
+        )]);
+    }
+    Ok(Vec::new())
 }
 
 /// Structural checks on the fresh timing report: the determinism flag and
@@ -271,6 +310,10 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
         &load(&Path::new(&fresh_dir).join("BENCH_timing.json"))?,
         "BENCH_timing.json",
     )?;
+    failures.extend(serve_checks(
+        &load(&Path::new(&fresh_dir).join("BENCH_serve.json"))?,
+        "BENCH_serve.json",
+    )?);
     failures.extend(compare(&fresh, &baseline, max_regression_pct));
     Ok(failures)
 }

@@ -11,7 +11,7 @@
 //! (batch amortization and worker speedup over the serial path).
 
 use awesym_bench::{lines_workload, opamp_workload, time_median};
-use awesym_serve::{evaluate_batch, BatchOutput, Server, ServerConfig};
+use awesym_serve::{decode_frame, evaluate_batch, BatchOutput, Server, ServerConfig};
 use awesymbolic::CompiledModel;
 use std::fmt::Write as _;
 use std::path::Path;
@@ -94,18 +94,18 @@ struct ObsResult {
     off_points_per_sec: f64,
     overhead_pct: f64,
     stages: Vec<(String, u64, u64, f64)>,
+    serialize_by_encoding: Vec<(String, u64, u64, f64)>,
 }
 
-/// Measures what the observability layer itself costs on the full
-/// request path: the same 1000-point batch request driven through
-/// `Server::handle_line` with stage timing + tracing on vs off.
-/// The observe-on server's stage histograms also yield the per-stage
-/// breakdown (parse → lookup → eval → degrade → serialize) the report
-/// publishes.
-fn run_obs_overhead(model: CompiledModel, reps: usize) -> ObsResult {
-    let batch_points = 1000usize;
-    let pts = make_points(&model, batch_points);
-    let mut req = String::from(r#"{"cmd":"batch","model":"m","points":["#);
+/// Builds the 1000-point batch request line, optionally negotiating the
+/// binary-v1 response frame.
+fn batch_request(model: &CompiledModel, batch_points: usize, binary: bool) -> String {
+    let pts = make_points(model, batch_points);
+    let mut req = String::from(r#"{"cmd":"batch","model":"m","#);
+    if binary {
+        req.push_str(r#""encoding":"binary-v1","#);
+    }
+    req.push_str(r#""points":["#);
     for (i, p) in pts.iter().enumerate() {
         if i > 0 {
             req.push(',');
@@ -120,6 +120,23 @@ fn run_obs_overhead(model: CompiledModel, reps: usize) -> ObsResult {
         req.push(']');
     }
     req.push_str("]}");
+    req
+}
+
+/// Measures what the observability layer itself costs on the full
+/// request path: the same 1000-point batch request driven through
+/// `Server::handle_line` with stage timing + tracing on vs off, on the
+/// binary-v1 wire encoding (the throughput configuration). The observe-on
+/// server's stage histograms yield the canonical per-stage breakdown
+/// (parse → lookup → eval → degrade → serialize) the report publishes;
+/// an extra NDJSON pass against a second observed server fills the
+/// per-encoding serialize split (`serialize_ndjson` vs
+/// `serialize_binary`) without polluting the binary-driven canonical
+/// stage histograms.
+fn run_obs_overhead(model: CompiledModel, reps: usize) -> ObsResult {
+    let batch_points = 1000usize;
+    let req_bin = batch_request(&model, batch_points, true);
+    let req_nd = batch_request(&model, batch_points, false);
 
     let make = |observe: bool| {
         let server = Server::with_config(ServerConfig {
@@ -132,10 +149,15 @@ fn run_obs_overhead(model: CompiledModel, reps: usize) -> ObsResult {
     let observed = make(true);
     let bare = make(false);
     let run_req = |server: &Server| {
-        let resp = server.handle_line(&req).expect("batch response");
-        assert!(resp.text.contains("\"ok\": true") || resp.text.contains("\"ok\":true"));
-        std::hint::black_box(resp.text.len());
+        let resp = server.handle_line(&req_bin).expect("batch response");
+        std::hint::black_box(resp.body.len());
     };
+    // Sanity-check the frame once outside the timed loops.
+    {
+        let resp = observed.handle_line(&req_bin).expect("batch response");
+        let frame = decode_frame(&resp.body).expect("well-formed binary frame");
+        assert_eq!(frame.ok_count as usize, batch_points, "batch eval failed");
+    }
     // The instrumented and bare servers are measured in alternating
     // rounds so slow drift (allocator state, frequency scaling) hits
     // both the same way; a single on-block followed by an off-block
@@ -155,11 +177,27 @@ fn run_obs_overhead(model: CompiledModel, reps: usize) -> ObsResult {
     let on_points_per_sec = batch_points as f64 / median(on);
     let off_points_per_sec = batch_points as f64 / median(off);
     let overhead_pct = 100.0 * (off_points_per_sec / on_points_per_sec - 1.0);
-    let stages = observed
-        .stats()
-        .snapshot()
+    // NDJSON pass on a fresh observed server: fills serialize_ndjson for
+    // the per-encoding split while the canonical stage breakdown above
+    // stays representative of the binary throughput path.
+    let observed_nd = make(true);
+    for _ in 0..rounds {
+        let resp = observed_nd.handle_line(&req_nd).expect("batch response");
+        assert!(resp.text().contains("\"ok\":true"));
+        std::hint::black_box(resp.body.len());
+    }
+    let snap = observed.stats().snapshot();
+    let snap_nd = observed_nd.stats().snapshot();
+    let stages = snap
         .stages
         .into_iter()
+        .map(|st| (st.stage, st.count, st.total_ns, st.mean_ns))
+        .collect();
+    let serialize_by_encoding = snap
+        .serialize_encodings
+        .into_iter()
+        .chain(snap_nd.serialize_encodings)
+        .filter(|st| st.count > 0)
         .map(|st| (st.stage, st.count, st.total_ns, st.mean_ns))
         .collect();
     ObsResult {
@@ -168,6 +206,7 @@ fn run_obs_overhead(model: CompiledModel, reps: usize) -> ObsResult {
         off_points_per_sec,
         overhead_pct,
         stages,
+        serialize_by_encoding,
     }
 }
 
@@ -193,6 +232,19 @@ fn json_report(points: usize, reps: usize, results: &[CaseResult], obs: &ObsResu
     s.push_str("    \"stages\": [\n");
     for (i, (stage, count, total_ns, mean_ns)) in obs.stages.iter().enumerate() {
         let comma = if i + 1 < obs.stages.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "      {{\"stage\": \"{stage}\", \"count\": {count}, \"total_ns\": {total_ns}, \"mean_ns\": {mean_ns:.1}}}{comma}"
+        );
+    }
+    s.push_str("    ],\n");
+    s.push_str("    \"serialize_by_encoding\": [\n");
+    for (i, (stage, count, total_ns, mean_ns)) in obs.serialize_by_encoding.iter().enumerate() {
+        let comma = if i + 1 < obs.serialize_by_encoding.len() {
+            ","
+        } else {
+            ""
+        };
         let _ = writeln!(
             s,
             "      {{\"stage\": \"{stage}\", \"count\": {count}, \"total_ns\": {total_ns}, \"mean_ns\": {mean_ns:.1}}}{comma}"
@@ -268,6 +320,9 @@ fn main() {
     );
     for (stage, count, _total, mean_ns) in &obs.stages {
         println!("  stage {stage:<10} count {count:>4}  mean {mean_ns:>12.0} ns");
+    }
+    for (stage, count, _total, mean_ns) in &obs.serialize_by_encoding {
+        println!("  encoding {stage:<18} count {count:>4}  mean {mean_ns:>12.0} ns");
     }
     let lines = lines_workload(segments).expect("lines workload");
     let cases = [

@@ -9,7 +9,17 @@ use crate::{
     parse_spice, AweAnalysis, Circuit, CompiledModel, ElementId, ElementKind, ModelOptions, Node,
     OptLevel, SymbolBinding,
 };
+use serde_json::Value as Content;
 use std::fmt::Write as _;
+
+/// Shortest-round-trip float text via the shared wire formatter — the
+/// same `ryu`-backed path every server encoder uses, so CLI output and
+/// wire output can never disagree on a value's digits.
+fn fmt_f64(v: f64) -> String {
+    let mut out = Vec::new();
+    serde_json::write_f64(v, &mut out);
+    String::from_utf8(out).unwrap_or_default()
+}
 
 /// Runs the CLI with `args` (excluding the program name) and returns the
 /// output text.
@@ -439,13 +449,19 @@ fn cmd_eval(args: &[&str]) -> Result<String, String> {
         model.raw_op_count(),
         model.opt_level()
     );
-    let _ = writeln!(out, "moments: {:?}", model.eval_moments(&vals));
-    let _ = writeln!(out, "dc gain: {:.6e}", rom.dc_gain());
+    let moments: Vec<String> = model
+        .eval_moments(&vals)
+        .iter()
+        .copied()
+        .map(fmt_f64)
+        .collect();
+    let _ = writeln!(out, "moments: [{}]", moments.join(", "));
+    let _ = writeln!(out, "dc gain: {}", fmt_f64(rom.dc_gain()));
     for p in rom.poles() {
         let _ = writeln!(out, "pole {p}");
     }
     if let Some(d) = rom.delay_50() {
-        let _ = writeln!(out, "50% delay: {d:.6e} s");
+        let _ = writeln!(out, "50% delay: {} s", fmt_f64(d));
     }
     Ok(out)
 }
@@ -570,15 +586,27 @@ fn cmd_timing(args: &[&str]) -> Result<String, String> {
     let deadline = deadline.unwrap_or(1.25 * nominal);
     let grid = QuantileGrid::around(nominal, 64.0, QuantileGrid::DEFAULT_BINS);
 
+    // Both report lines go through the serde_json Content writer — the
+    // shared wire encoder path — instead of hand-rolled `format!` float
+    // printing: shortest-round-trip digits, and non-finite values (an
+    // all-invalid run's quantiles) become `null` rather than the
+    // JSON-breaking `NaN` literal.
     let mut out = String::new();
+    let chain_fields = Content::Map(vec![
+        ("kind".into(), Content::Str("chain".into())),
+        ("stages".into(), Content::U64(chain.stages().len() as u64)),
+        ("order".into(), Content::U64(spec.order as u64)),
+        (
+            "metric".into(),
+            serde_json::to_value(&spec.metric).map_err(|e| e.to_string())?,
+        ),
+        ("tape_ops".into(), Content::U64(chain.op_count() as u64)),
+        ("nominal_delay_s".into(), Content::F64(nominal)),
+    ]);
     let _ = writeln!(
         out,
-        "{{\"kind\":\"chain\",\"stages\":{},\"order\":{},\"metric\":{},\"tape_ops\":{},\"nominal_delay_s\":{:e}}}",
-        chain.stages().len(),
-        spec.order,
-        serde_json::to_string(&spec.metric).map_err(|e| e.to_string())?,
-        chain.op_count(),
-        nominal,
+        "{}",
+        serde_json::to_string(&chain_fields).map_err(|e| e.to_string())?
     );
 
     let registry = awesym_obs::Registry::new();
@@ -588,31 +616,37 @@ fn cmd_timing(args: &[&str]) -> Result<String, String> {
         .with_deadline(deadline);
     let report = engine.run(&cfg);
     let s = &report.summary;
+    let yield_fields = Content::Map(vec![
+        ("kind".into(), Content::Str("yield_report".into())),
+        ("samples".into(), Content::U64(s.samples)),
+        ("valid".into(), Content::U64(s.valid)),
+        ("invalid".into(), Content::U64(s.invalid)),
+        ("blocks".into(), Content::U64(s.blocks)),
+        ("mean_s".into(), Content::F64(s.mean)),
+        ("std_dev_s".into(), Content::F64(s.std_dev)),
+        ("min_s".into(), Content::F64(s.min)),
+        ("max_s".into(), Content::F64(s.max)),
+        ("p50_s".into(), Content::F64(s.p50.unwrap_or(f64::NAN))),
+        ("p95_s".into(), Content::F64(s.p95.unwrap_or(f64::NAN))),
+        ("p997_s".into(), Content::F64(s.p997.unwrap_or(f64::NAN))),
+        ("deadline_s".into(), Content::F64(deadline)),
+        (
+            "yield".into(),
+            Content::F64(s.yield_fraction.unwrap_or(f64::NAN)),
+        ),
+        ("workers".into(), Content::U64(report.workers as u64)),
+        ("seed".into(), Content::U64(seed)),
+        ("block_size".into(), Content::U64(block as u64)),
+        ("wall_s".into(), Content::F64(report.wall_secs)),
+        (
+            "samples_per_sec".into(),
+            Content::F64(report.samples_per_sec),
+        ),
+    ]);
     let _ = writeln!(
         out,
-        "{{\"kind\":\"yield_report\",\"samples\":{},\"valid\":{},\"invalid\":{},\"blocks\":{},\
-         \"mean_s\":{:e},\"std_dev_s\":{:e},\"min_s\":{:e},\"max_s\":{:e},\
-         \"p50_s\":{:e},\"p95_s\":{:e},\"p997_s\":{:e},\
-         \"deadline_s\":{:e},\"yield\":{:.6},\
-         \"workers\":{},\"seed\":{},\"block_size\":{},\"wall_s\":{:.3},\"samples_per_sec\":{:.0}}}",
-        s.samples,
-        s.valid,
-        s.invalid,
-        s.blocks,
-        s.mean,
-        s.std_dev,
-        s.min,
-        s.max,
-        s.p50.unwrap_or(f64::NAN),
-        s.p95.unwrap_or(f64::NAN),
-        s.p997.unwrap_or(f64::NAN),
-        deadline,
-        s.yield_fraction.unwrap_or(f64::NAN),
-        report.workers,
-        seed,
-        block,
-        report.wall_secs,
-        report.samples_per_sec,
+        "{}",
+        serde_json::to_string(&yield_fields).map_err(|e| e.to_string())?
     );
     out.push_str(&registry.to_ndjson());
     Ok(out)

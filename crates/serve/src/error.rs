@@ -48,6 +48,50 @@ impl ErrorCode {
             ErrorCode::Internal => "internal",
         }
     }
+
+    /// Parses the wire string form back to the typed code.
+    pub fn parse(s: &str) -> Option<ErrorCode> {
+        Some(match s {
+            "bad_request" => ErrorCode::BadRequest,
+            "not_found" => ErrorCode::NotFound,
+            "bad_artifact" => ErrorCode::BadArtifact,
+            "deadline_exceeded" => ErrorCode::DeadlineExceeded,
+            "overloaded" => ErrorCode::Overloaded,
+            "numeric_unstable" => ErrorCode::NumericUnstable,
+            "internal" => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+
+    /// The single-byte form used by the binary-v1 batch frame's per-point
+    /// status column. `0` is reserved for "ok" (no error); codes start at
+    /// `1`. Stable wire contract — append only, never renumber.
+    pub fn wire_byte(self) -> u8 {
+        match self {
+            ErrorCode::BadRequest => 1,
+            ErrorCode::NotFound => 2,
+            ErrorCode::BadArtifact => 3,
+            ErrorCode::DeadlineExceeded => 4,
+            ErrorCode::Overloaded => 5,
+            ErrorCode::NumericUnstable => 6,
+            ErrorCode::Internal => 7,
+        }
+    }
+
+    /// Inverse of [`ErrorCode::wire_byte`]; `0` (ok) and unknown bytes
+    /// return `None`.
+    pub fn from_wire_byte(b: u8) -> Option<ErrorCode> {
+        Some(match b {
+            1 => ErrorCode::BadRequest,
+            2 => ErrorCode::NotFound,
+            3 => ErrorCode::BadArtifact,
+            4 => ErrorCode::DeadlineExceeded,
+            5 => ErrorCode::Overloaded,
+            6 => ErrorCode::NumericUnstable,
+            7 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
 }
 
 impl fmt::Display for ErrorCode {
@@ -215,16 +259,8 @@ pub(crate) fn partition_code(e: &awesym_partition::PartitionError) -> ErrorCode 
 
 /// Recovers the typed code from a point error's wire string, defaulting
 /// to `internal` for forward compatibility.
-fn point_code(p: &PointError) -> ErrorCode {
-    match p.code.as_str() {
-        "bad_request" => ErrorCode::BadRequest,
-        "not_found" => ErrorCode::NotFound,
-        "bad_artifact" => ErrorCode::BadArtifact,
-        "deadline_exceeded" => ErrorCode::DeadlineExceeded,
-        "overloaded" => ErrorCode::Overloaded,
-        "numeric_unstable" => ErrorCode::NumericUnstable,
-        _ => ErrorCode::Internal,
-    }
+pub(crate) fn point_code(p: &PointError) -> ErrorCode {
+    ErrorCode::parse(&p.code).unwrap_or(ErrorCode::Internal)
 }
 
 impl fmt::Display for ServeError {
@@ -368,6 +404,28 @@ mod tests {
             ServeError::Point(PointError::new(ErrorCode::Internal, "panic")).code(),
             ErrorCode::Internal
         );
+    }
+
+    #[test]
+    fn wire_bytes_round_trip_and_zero_means_ok() {
+        let all = [
+            ErrorCode::BadRequest,
+            ErrorCode::NotFound,
+            ErrorCode::BadArtifact,
+            ErrorCode::DeadlineExceeded,
+            ErrorCode::Overloaded,
+            ErrorCode::NumericUnstable,
+            ErrorCode::Internal,
+        ];
+        for code in all {
+            let b = code.wire_byte();
+            assert_ne!(b, 0, "0 is reserved for ok");
+            assert_eq!(ErrorCode::from_wire_byte(b), Some(code));
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::from_wire_byte(0), None);
+        assert_eq!(ErrorCode::from_wire_byte(200), None);
+        assert_eq!(ErrorCode::parse("frobnicated"), None);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 
 pub mod artifact;
 pub mod batch;
+pub mod encode;
 mod error;
 #[cfg(feature = "fault-injection")]
 pub mod faults;
@@ -44,6 +45,9 @@ pub use awesym_partition::Degradation;
 pub use batch::{
     evaluate_batch, evaluate_batch_guarded, BatchOutcome, BatchOutput, DelaySummary, PointResult,
     PointValue, RomSummary,
+};
+pub use encode::{
+    decode_frame, BinaryEncoder, DecodedFrame, Encoder, FrameError, NdjsonEncoder, WireEncoding,
 };
 pub use error::{ErrorCode, PointError, ServeError};
 pub use registry::{ModelRegistry, RegistryStats};

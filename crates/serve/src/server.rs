@@ -27,12 +27,13 @@
 //! in-flight budget sheds excess load with an `overloaded` error and a
 //! `retry_after_ms` hint instead of queueing without bound.
 
-use crate::batch::{evaluate_batch_guarded, BatchOutput, PointValue};
+use crate::batch::{evaluate_batch_guarded, BatchOutput};
+use crate::encode::{self, BatchBody, ResponseBody, WireEncoding};
 use crate::registry::ModelRegistry;
 use crate::stats::{ServerStats, Stage, STAGES};
 use crate::{artifact, resolve, ServeError};
 use awesym_obs::{now_ns, Tracer};
-use awesym_partition::{CompiledModel, Degradation};
+use awesym_partition::CompiledModel;
 use serde::Content;
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -88,10 +89,41 @@ impl Default for ServerConfig {
 
 /// One handled request's outcome.
 pub struct Response {
-    /// The JSON response line (no trailing newline).
-    pub text: String,
+    /// The encoded response bytes (no trailing newline/framing): a JSON
+    /// object for NDJSON responses, a binary-v1 frame for binary ones.
+    pub body: Vec<u8>,
+    /// The wire encoding actually used for `body` (error responses are
+    /// always NDJSON, whatever the request negotiated).
+    pub encoding: WireEncoding,
     /// True when the request asked the serve loop to stop.
     pub shutdown: bool,
+}
+
+impl Response {
+    /// The response as text — valid for NDJSON responses (every response
+    /// except a binary-encoded batch body).
+    pub fn text(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("NDJSON response is valid UTF-8")
+    }
+}
+
+/// What [`Server::handle_line_into`] reports alongside the bytes it
+/// appended to the caller's buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseMeta {
+    /// The wire encoding actually used.
+    pub encoding: WireEncoding,
+    /// True when the request asked the serve loop to stop.
+    pub shutdown: bool,
+}
+
+/// A command's successful payload before the response envelope (`ok`,
+/// `id`) is attached.
+enum Reply {
+    /// An ordered field list.
+    Fields(Vec<(&'static str, Content)>),
+    /// A batch body the encoder streams directly.
+    Batch(BatchBody),
 }
 
 /// The serving engine: a model registry plus counters, driven one
@@ -164,12 +196,14 @@ fn obj(fields: Vec<(&str, Content)>) -> Content {
     )
 }
 
-fn f64s(v: &[f64]) -> Content {
-    Content::Seq(v.iter().map(|&x| Content::F64(x)).collect())
-}
-
-fn opt_f64(v: Option<f64>) -> Content {
-    v.map_or(Content::Null, Content::F64)
+/// Appends the standard error fields (`error`, `code`, and the
+/// `retry_after_ms` hint for shed requests) to a response envelope.
+fn push_error_fields(fields: &mut Vec<(&'static str, Content)>, e: &ServeError) {
+    fields.push(("error", Content::Str(e.to_string())));
+    fields.push(("code", Content::Str(e.code().to_string())));
+    if let ServeError::Overloaded { retry_after_ms, .. } = e {
+        fields.push(("retry_after_ms", Content::U64(*retry_after_ms)));
+    }
 }
 
 /// Extracts a required string field.
@@ -222,49 +256,6 @@ fn output_kind(req: &Content) -> Result<BatchOutput, ServeError> {
         other => Err(ServeError::BadRequest {
             what: format!("unknown kind '{other}' (moments|rom|dc_gain|step|delays)"),
         }),
-    }
-}
-
-fn degraded_json(d: &Degradation) -> Content {
-    obj(vec![
-        ("from_order", Content::U64(d.from_order as u64)),
-        ("to_order", Content::U64(d.to_order as u64)),
-        ("reason", Content::Str(d.reason.clone())),
-    ])
-}
-
-fn point_value_json(v: &PointValue) -> Content {
-    match v {
-        PointValue::Moments(m) => obj(vec![("moments", f64s(m))]),
-        PointValue::DcGain(g) => obj(vec![("dc_gain", Content::F64(*g))]),
-        PointValue::Step { samples, degraded } => {
-            let mut fields = vec![("step", f64s(samples))];
-            if let Some(d) = degraded {
-                fields.push(("degraded", degraded_json(d)));
-            }
-            obj(fields)
-        }
-        PointValue::Rom(r) => {
-            let mut fields = vec![
-                ("poles_re", f64s(&r.poles_re)),
-                ("poles_im", f64s(&r.poles_im)),
-                ("residues_re", f64s(&r.residues_re)),
-                ("residues_im", f64s(&r.residues_im)),
-                ("dc_gain", Content::F64(r.dc_gain)),
-                ("stable", Content::Bool(r.stable)),
-                ("delay_50", opt_f64(r.delay_50)),
-            ];
-            if let Some(d) = &r.degraded {
-                fields.push(("degraded", degraded_json(d)));
-            }
-            obj(fields)
-        }
-        PointValue::Delays(d) => obj(vec![
-            ("elmore", Content::F64(d.elmore)),
-            ("ln2_elmore", Content::F64(d.ln2_elmore)),
-            ("d2m", Content::F64(d.d2m)),
-            ("two_pole", opt_f64(d.two_pole)),
-        ]),
     }
 }
 
@@ -469,7 +460,7 @@ impl Server {
             what: "batch engine returned no result for a single-point request".into(),
         })?;
         match result {
-            Ok(v) => Ok(vec![("result", point_value_json(&v))]),
+            Ok(v) => Ok(vec![("result", encode::point_value_content(&v))]),
             Err(_) if outcome.deadline_exceeded => Err(ServeError::DeadlineExceeded {
                 deadline_ms: deadline.map_or(0, |(_, ms)| ms),
             }),
@@ -495,7 +486,8 @@ impl Server {
         req: &Content,
         deadline: Option<(Instant, u64)>,
         clock: &mut StageClock,
-    ) -> Result<Vec<(&'static str, Content)>, ServeError> {
+        encoding: WireEncoding,
+    ) -> Result<BatchBody, ServeError> {
         let model = clock.time(Stage::Lookup, || self.model(req))?;
         let raw_points =
             req.get("points")
@@ -517,6 +509,22 @@ impl Server {
             .map(|p| point_from(p, "each point"))
             .collect::<Result<_, _>>()?;
         let kind = output_kind(req)?;
+        // The binary frame carries a fixed number of f64 columns per
+        // point, derived from the output kind before any evaluation.
+        let cols = match (&kind, encoding) {
+            (BatchOutput::Rom, WireEncoding::BinaryV1) => {
+                return Err(ServeError::BadRequest {
+                    what: "kind 'rom' has no fixed-width binary layout; \
+                           use \"encoding\":\"ndjson\""
+                        .into(),
+                })
+            }
+            (BatchOutput::Rom, _) => 0,
+            (BatchOutput::Moments, _) => 2 * model.order(),
+            (BatchOutput::DcGain, _) => 1,
+            (BatchOutput::Delays, _) => 4,
+            (BatchOutput::Step { times }, _) => times.len(),
+        };
         let workers = req
             .get("workers")
             .and_then(Content::as_u64)
@@ -531,21 +539,8 @@ impl Server {
             self.record_outcome(&outcome);
             outcome.results.iter().filter(|r| r.is_ok()).count()
         });
-        let json: Vec<Content> = clock.time(Stage::Serialize, || {
-            outcome
-                .results
-                .iter()
-                .map(|r| match r {
-                    Ok(v) => point_value_json(v),
-                    Err(e) => obj(vec![
-                        ("error", Content::Str(e.message.clone())),
-                        ("code", Content::Str(e.code.clone())),
-                    ]),
-                })
-                .collect()
-        });
         let secs = elapsed.as_secs_f64();
-        let mut fields = vec![
+        let mut head = vec![
             ("count", Content::U64(points.len() as u64)),
             ("ok_count", Content::U64(ok_count as u64)),
             ("elapsed_secs", Content::F64(secs)),
@@ -559,10 +554,17 @@ impl Server {
             ),
         ];
         if outcome.deadline_exceeded {
-            fields.push(("deadline_exceeded", Content::Bool(true)));
+            head.push(("deadline_exceeded", Content::Bool(true)));
         }
-        fields.push(("results", Content::Seq(json)));
-        Ok(fields)
+        Ok(BatchBody {
+            head,
+            cols,
+            ok_count: ok_count as u64,
+            elapsed_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
+            deadline_exceeded: outcome.deadline_exceeded,
+            deadline,
+            results: outcome.results,
+        })
     }
 
     fn cmd_stats(&self) -> Result<Vec<(&'static str, Content)>, ServeError> {
@@ -590,9 +592,29 @@ impl Server {
         ])
     }
 
-    /// Handles one request line, returning the response line and whether
-    /// the loop should stop. Blank lines are ignored (`None`).
+    /// Handles one request line into a fresh buffer. Prefer
+    /// [`Server::handle_line_into`] on hot paths — it reuses the
+    /// caller's buffer across requests.
     pub fn handle_line(&self, line: &str) -> Option<Response> {
+        let mut body = Vec::new();
+        let meta = self.handle_line_into(line, &mut body)?;
+        Some(Response {
+            body,
+            encoding: meta.encoding,
+            shutdown: meta.shutdown,
+        })
+    }
+
+    /// Handles one request line, appending the encoded response to `out`
+    /// (a reusable buffer the caller clears between requests). Blank
+    /// lines are ignored (`None`).
+    ///
+    /// Every response goes through the negotiated [`crate::encode::Encoder`]; encode
+    /// time is charged to the `serialize` stage and counts against the
+    /// request deadline — a deadline that trips mid-encode discards the
+    /// partial body and reports a typed `deadline_exceeded` error
+    /// instead. Error responses are always NDJSON.
+    pub fn handle_line_into(&self, line: &str, out: &mut Vec<u8>) -> Option<ResponseMeta> {
         let line = line.trim();
         if line.is_empty() {
             return None;
@@ -621,30 +643,38 @@ impl Server {
             .and_then(|r| r.get("id").cloned())
             .unwrap_or(Content::Null);
         let mut shutdown = false;
-        let outcome: Result<Vec<(&'static str, Content)>, ServeError> = req.and_then(|req| {
+        let mut encoding = WireEncoding::Ndjson;
+        let outcome: Result<Reply, ServeError> = req.and_then(|req| {
+            encoding = encode::negotiate(&req)?;
             let cmd = need_str(&req, "cmd")?.to_string();
             let deadline = self.deadline_of(&req, t0);
+            if encoding == WireEncoding::BinaryV1 && cmd != "batch" {
+                return Err(ServeError::BadRequest {
+                    what: format!("encoding 'binary-v1' only applies to cmd 'batch' (got '{cmd}')"),
+                });
+            }
             match cmd.as_str() {
                 // Heavy commands claim an in-flight slot (shedding when
                 // the budget is exhausted); cheap ones always answer.
-                "load" => self.cmd_load(&req),
+                "load" => self.cmd_load(&req).map(Reply::Fields),
                 "compile" => {
                     let _slot = self.admit()?;
-                    self.cmd_compile(&req)
+                    self.cmd_compile(&req).map(Reply::Fields)
                 }
-                "save" => self.cmd_save(&req),
+                "save" => self.cmd_save(&req).map(Reply::Fields),
                 "eval" => {
                     let _slot = self.admit()?;
-                    self.cmd_eval(&req, deadline, &mut clock)
+                    self.cmd_eval(&req, deadline, &mut clock).map(Reply::Fields)
                 }
                 "batch" => {
                     let _slot = self.admit()?;
-                    self.cmd_batch(&req, deadline, &mut clock)
+                    self.cmd_batch(&req, deadline, &mut clock, encoding)
+                        .map(Reply::Batch)
                 }
-                "stats" => self.cmd_stats(),
+                "stats" => self.cmd_stats().map(Reply::Fields),
                 "shutdown" => {
                     shutdown = true;
-                    Ok(vec![("shutdown", Content::Bool(true))])
+                    Ok(Reply::Fields(vec![("shutdown", Content::Bool(true))]))
                 }
                 other => Err(ServeError::BadRequest {
                     what: format!(
@@ -654,26 +684,54 @@ impl Server {
                 }),
             }
         });
-        let ok = outcome.is_ok();
-        let mut fields = vec![("ok", Content::Bool(ok))];
+        let mut ok = outcome.is_ok();
+        let mut envelope = vec![("ok", Content::Bool(ok))];
         if !id.is_null() {
-            fields.push(("id", id));
+            envelope.push(("id", id.clone()));
         }
-        match outcome {
-            Ok(extra) => fields.extend(extra),
-            Err(e) => {
-                fields.push(("error", Content::Str(e.to_string())));
-                fields.push(("code", Content::Str(e.code().to_string())));
-                if let ServeError::Overloaded { retry_after_ms, .. } = &e {
-                    fields.push(("retry_after_ms", Content::U64(*retry_after_ms)));
-                }
+        let body = match outcome {
+            Ok(Reply::Fields(extra)) => {
+                // Only batch bodies have a binary form; everything else
+                // is an NDJSON object whatever was negotiated.
+                encoding = WireEncoding::Ndjson;
+                envelope.extend(extra);
+                ResponseBody::Fields(envelope)
             }
+            Ok(Reply::Batch(mut b)) => {
+                envelope.append(&mut b.head);
+                b.head = envelope;
+                ResponseBody::Batch(b)
+            }
+            Err(e) => {
+                encoding = WireEncoding::Ndjson;
+                push_error_fields(&mut envelope, &e);
+                ResponseBody::Fields(envelope)
+            }
+        };
+        let encoder = encode::encoder_for(encoding);
+        let start_len = out.len();
+        let encoded = clock.time(Stage::Serialize, || encoder.encode_response(&body, out));
+        if let Err(e) = encoded {
+            // The deadline tripped mid-encode: discard the partial body
+            // and answer with the typed error (NDJSON) instead.
+            out.truncate(start_len);
+            ok = false;
+            encoding = WireEncoding::Ndjson;
+            if matches!(e, ServeError::DeadlineExceeded { .. }) {
+                self.stats.record_deadline_exceeded();
+            }
+            let mut fields = vec![("ok", Content::Bool(false))];
+            if !id.is_null() {
+                fields.push(("id", id));
+            }
+            push_error_fields(&mut fields, &e);
+            clock.time(Stage::Serialize, || {
+                // The NDJSON field encoder is infallible (no deadline).
+                let _ = encode::encoder_for(WireEncoding::Ndjson)
+                    .encode_response(&ResponseBody::Fields(fields), out);
+            });
         }
         self.stats.record_request(t0.elapsed(), ok);
-        let text = clock.time(Stage::Serialize, || {
-            serde_json::to_string(&obj(fields))
-                .unwrap_or_else(|e| format!("{{\"ok\":false,\"error\":\"encoding: {e}\"}}"))
-        });
         // Flush the collected stage times in canonical pipeline order, so
         // a drained trace always reads parse → lookup → eval → degrade →
         // serialize (requests skip stages they never reached).
@@ -683,13 +741,23 @@ impl Server {
                 self.tracer.record(stage.as_str(), start, dur);
             }
         }
-        Some(Response { text, shutdown })
+        if let Some((_, dur)) = clock.spans[Stage::Serialize.index()] {
+            self.stats.record_serialize_encoding(encoding, dur);
+        }
+        Some(ResponseMeta { encoding, shutdown })
     }
 
     /// One NDJSON stats line: the server snapshot (with per-stage
     /// breakdown), registry counters, and how many trace spans the ring
     /// has overwritten.
     pub fn stats_line(&self) -> String {
+        let mut out = Vec::new();
+        self.stats_line_into(&mut out);
+        String::from_utf8(out).expect("stats line is valid UTF-8")
+    }
+
+    /// As [`Server::stats_line`], appending to a reusable buffer.
+    pub fn stats_line_into(&self, out: &mut Vec<u8>) {
         let server = serde_json::to_value(&self.stats.snapshot()).unwrap_or(Content::Null);
         let registry = serde_json::to_value(&self.registry.stats()).unwrap_or(Content::Null);
         let line = obj(vec![
@@ -698,8 +766,7 @@ impl Server {
             ("registry", registry),
             ("spans_dropped", Content::U64(self.tracer.dropped())),
         ]);
-        serde_json::to_string(&line)
-            .unwrap_or_else(|e| format!("{{\"stats\":true,\"error\":\"encoding: {e}\"}}"))
+        encode::encoder_for(WireEncoding::Ndjson).encode_stats(&line, out);
     }
 
     /// Runs the NDJSON loop until EOF or a `shutdown` request.
@@ -729,19 +796,28 @@ impl Server {
     ) -> std::io::Result<()> {
         let every = self.config.stats_every;
         let mut handled: u64 = 0;
+        // One response buffer per connection, reused across requests.
+        let mut buf: Vec<u8> = Vec::with_capacity(4096);
         for line in reader.lines() {
             let line = line?;
-            if let Some(resp) = self.handle_line(&line) {
-                writer.write_all(resp.text.as_bytes())?;
-                writer.write_all(b"\n")?;
+            buf.clear();
+            if let Some(meta) = self.handle_line_into(&line, &mut buf) {
+                writer.write_all(&buf)?;
+                // NDJSON responses are newline-framed; binary frames are
+                // self-delimiting (explicit lengths in the header).
+                if meta.encoding == WireEncoding::Ndjson {
+                    writer.write_all(b"\n")?;
+                }
                 writer.flush()?;
                 handled += 1;
                 if every > 0 && handled.is_multiple_of(every) {
-                    stats_out.write_all(self.stats_line().as_bytes())?;
+                    buf.clear();
+                    self.stats_line_into(&mut buf);
+                    stats_out.write_all(&buf)?;
                     stats_out.write_all(b"\n")?;
                     stats_out.flush()?;
                 }
-                if resp.shutdown {
+                if meta.shutdown {
                     break;
                 }
             }
@@ -779,7 +855,7 @@ mod tests {
     }
 
     fn parse(resp: &Response) -> Content {
-        serde_json::from_str(&resp.text).unwrap()
+        serde_json::from_str(resp.text()).unwrap()
     }
 
     fn ok_of(c: &Content) -> bool {
@@ -791,14 +867,14 @@ mod tests {
         let s = Server::default();
         let r = s.handle_line(&compile_req("m")).unwrap();
         let c = parse(&r);
-        assert!(ok_of(&c), "{}", r.text);
+        assert!(ok_of(&c), "{}", r.text());
         assert!(c.get("op_count").and_then(Content::as_u64).unwrap() > 0);
 
         let r = s
             .handle_line(r#"{"cmd":"eval","model":"m","values":[1e-9,1000.0],"kind":"dc_gain"}"#)
             .unwrap();
         let c = parse(&r);
-        assert!(ok_of(&c), "{}", r.text);
+        assert!(ok_of(&c), "{}", r.text());
         let dc = c
             .get("result")
             .and_then(|v| v.get("dc_gain"))
@@ -812,7 +888,7 @@ mod tests {
             )
             .unwrap();
         let c = parse(&r);
-        assert!(ok_of(&c), "{}", r.text);
+        assert!(ok_of(&c), "{}", r.text());
         assert_eq!(c.get("count").and_then(Content::as_u64), Some(3));
         assert_eq!(c.get("ok_count").and_then(Content::as_u64), Some(2));
         let results = c.get("results").and_then(Content::as_seq).unwrap();
@@ -852,7 +928,7 @@ mod tests {
         ] {
             let r = s.handle_line(bad).unwrap();
             let c = parse(&r);
-            assert!(!ok_of(&c), "{bad} -> {}", r.text);
+            assert!(!ok_of(&c), "{bad} -> {}", r.text());
             assert!(!r.shutdown);
             assert!(c.get("error").and_then(Content::as_str).is_some());
             // Every failure carries a stable machine-readable code.
@@ -889,7 +965,7 @@ mod tests {
             .handle_line(r#"{"cmd":"eval","model":"m","values":[1e-9,null]}"#)
             .unwrap();
         let c = parse(&r);
-        assert!(!ok_of(&c), "{}", r.text);
+        assert!(!ok_of(&c), "{}", r.text());
         assert_eq!(code_of(&c), Some("bad_request"));
         let err = point_from(
             &Content::Seq(vec![Content::F64(1.0), Content::F64(f64::NAN)]),
@@ -1020,7 +1096,7 @@ mod tests {
         let r = s
             .handle_line(r#"{"cmd":"batch","model":"m","points":[[1e-9,1e3],[2e-9,2e3]]}"#)
             .unwrap();
-        assert!(ok_of(&parse(&r)), "{}", r.text);
+        assert!(ok_of(&parse(&r)), "{}", r.text());
         let spans = s.tracer().drain();
         let names: Vec<&str> = spans.iter().map(|rec| rec.name).collect();
         assert_eq!(
@@ -1064,7 +1140,7 @@ mod tests {
         let r = s
             .handle_line(r#"{"cmd":"batch","model":"m","points":[[1e-9,1e3]]}"#)
             .unwrap();
-        assert!(ok_of(&parse(&r)), "{}", r.text);
+        assert!(ok_of(&parse(&r)), "{}", r.text());
         assert!(s.tracer().drain().is_empty());
         let snap = s.stats.snapshot();
         assert!(snap.stages.iter().all(|st| st.count == 0), "{snap:?}");
@@ -1136,5 +1212,128 @@ mod tests {
             let c: Content = serde_json::from_str(l).unwrap();
             assert!(ok_of(&c), "{l}");
         }
+    }
+
+    #[test]
+    fn binary_negotiation_returns_a_frame_matching_ndjson_values() {
+        let s = Server::default();
+        s.handle_line(&compile_req("m")).unwrap();
+        let req = r#"{"cmd":"batch","model":"m","points":[[1e-9,1e3],[2e-9,2e3],[1e-9]],"kind":"moments"}"#;
+        let nd = s.handle_line(req).unwrap();
+        assert_eq!(nd.encoding, WireEncoding::Ndjson);
+        let bin = s
+            .handle_line(&req.replace("\"kind\"", "\"encoding\":\"binary-v1\",\"kind\""))
+            .unwrap();
+        assert_eq!(bin.encoding, WireEncoding::BinaryV1);
+        let frame = crate::encode::decode_frame(&bin.body).unwrap();
+        assert_eq!(frame.count, 3);
+        assert_eq!(frame.cols, 4, "order-2 model has 4 moments");
+        assert_eq!(frame.ok_count, 2);
+        assert_eq!(
+            frame.code(2),
+            Some(crate::ErrorCode::BadRequest),
+            "arity error travels as a status byte"
+        );
+        // Values are bit-identical to the NDJSON path.
+        let c = parse(&nd);
+        let results = c.get("results").and_then(Content::as_seq).unwrap();
+        for i in 0..2 {
+            let m = results[i].get("moments").and_then(Content::as_seq).unwrap();
+            for (col, v) in m.iter().enumerate() {
+                assert_eq!(
+                    frame.columns[col][i].to_bits(),
+                    v.as_f64().unwrap().to_bits(),
+                    "point {i} col {col}"
+                );
+            }
+        }
+        assert!(frame.columns.iter().all(|col| col[2].is_nan()));
+    }
+
+    #[test]
+    fn binary_negotiation_rejections_are_typed_ndjson() {
+        let s = Server::default();
+        s.handle_line(&compile_req("m")).unwrap();
+        // Unknown token.
+        let r = s
+            .handle_line(
+                r#"{"cmd":"batch","model":"m","points":[[1e-9,1e3]],"encoding":"binary-v2"}"#,
+            )
+            .unwrap();
+        assert_eq!(r.encoding, WireEncoding::Ndjson);
+        let c = parse(&r);
+        assert!(!ok_of(&c));
+        assert_eq!(code_of(&c), Some("bad_request"));
+        assert!(r.text().contains("ndjson|binary-v1"), "{}", r.text());
+        // Binary on a non-batch command.
+        let r = s
+            .handle_line(r#"{"cmd":"eval","model":"m","values":[1e-9,1e3],"encoding":"binary-v1"}"#)
+            .unwrap();
+        assert_eq!(code_of(&parse(&r)), Some("bad_request"));
+        // Variable-width kind.
+        let r = s
+            .handle_line(
+                r#"{"cmd":"batch","model":"m","points":[[1e-9,1e3]],"kind":"rom","encoding":"binary-v1"}"#,
+            )
+            .unwrap();
+        let c = parse(&r);
+        assert_eq!(code_of(&c), Some("bad_request"));
+        assert!(r.text().contains("rom"), "{}", r.text());
+        // Explicit ndjson is accepted anywhere.
+        let r = s
+            .handle_line(r#"{"cmd":"eval","model":"m","values":[1e-9,1e3],"encoding":"ndjson"}"#)
+            .unwrap();
+        assert!(ok_of(&parse(&r)), "{}", r.text());
+        // And the server still answers afterwards.
+        let r = s
+            .handle_line(
+                r#"{"cmd":"batch","model":"m","points":[[1e-9,1e3]],"encoding":"binary-v1"}"#,
+            )
+            .unwrap();
+        assert_eq!(r.encoding, WireEncoding::BinaryV1);
+        crate::encode::decode_frame(&r.body).unwrap();
+    }
+
+    #[test]
+    fn serve_loop_interleaves_binary_frames_without_newlines() {
+        let s = Server::default();
+        let mut input = compile_req("m");
+        input.push('\n');
+        input.push_str(r#"{"cmd":"batch","model":"m","points":[[1e-9,1e3]],"kind":"dc_gain","encoding":"binary-v1"}"#);
+        input.push('\n');
+        input.push_str(r#"{"cmd":"shutdown"}"#);
+        input.push('\n');
+        let mut out = Vec::new();
+        s.serve(input.as_bytes(), &mut out).unwrap();
+        // compile line + '\n', then a self-delimiting frame, then the
+        // shutdown line + '\n'.
+        let first_nl = out.iter().position(|&b| b == b'\n').unwrap();
+        let rest = &out[first_nl + 1..];
+        assert_eq!(&rest[..4], b"AWSB");
+        let frame_len = crate::encode::BINARY_HEADER_LEN + 1 + 8;
+        let frame = crate::encode::decode_frame(&rest[..frame_len]).unwrap();
+        assert_eq!(frame.count, 1);
+        assert_eq!(frame.cols, 1);
+        let tail = String::from_utf8(rest[frame_len..].to_vec()).unwrap();
+        let c: Content = serde_json::from_str(tail.trim()).unwrap();
+        assert_eq!(c.get("shutdown").and_then(Content::as_bool), Some(true));
+    }
+
+    #[test]
+    fn batch_deadline_covers_encode_time() {
+        // A 0 ms deadline with evaluation already expired: the response
+        // still reports per-point deadline errors (evaluation owns the
+        // report), even though encoding also ran past the deadline.
+        let s = Server::default();
+        s.handle_line(&compile_req("m")).unwrap();
+        let r = s
+            .handle_line(
+                r#"{"cmd":"batch","model":"m","points":[[1e-9,1e3]],"deadline_ms":0,"encoding":"binary-v1"}"#,
+            )
+            .unwrap();
+        assert_eq!(r.encoding, WireEncoding::BinaryV1);
+        let frame = crate::encode::decode_frame(&r.body).unwrap();
+        assert!(frame.deadline_exceeded, "flag bit set");
+        assert_eq!(frame.code(0), Some(crate::ErrorCode::DeadlineExceeded));
     }
 }

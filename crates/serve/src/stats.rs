@@ -13,6 +13,7 @@
 //! `eval` stage is where the compiled-tape time goes, and everything
 //! else is overhead the server must keep small.
 
+use crate::encode::WireEncoding;
 use awesym_obs::{Counter, Histogram, Registry};
 use std::sync::Arc;
 use std::time::Duration;
@@ -127,6 +128,10 @@ pub struct StatsSnapshot {
     /// Per-stage request-time breakdown, in pipeline order (only stages
     /// a request passed through are counted).
     pub stages: Vec<StageSnapshot>,
+    /// The serialize stage split by wire encoding
+    /// (`serialize_ndjson`, `serialize_binary`) — additive detail on top
+    /// of the canonical `serialize` entry in [`StatsSnapshot::stages`].
+    pub serialize_encodings: Vec<StageSnapshot>,
 }
 
 /// Atomic counters; cheap to update from the request path.
@@ -147,6 +152,18 @@ pub struct ServerStats {
     requests_shed: Arc<Counter>,
     degradations: Arc<Counter>,
     stages: [Arc<Histogram>; 5],
+    serialize_encodings: [Arc<Histogram>; 2],
+}
+
+/// Metric-name suffixes for the per-encoding serialize histograms, in
+/// [`WireEncoding`] discriminant order.
+const SERIALIZE_ENCODINGS: [&str; 2] = ["serialize_ndjson", "serialize_binary"];
+
+fn encoding_slot(encoding: WireEncoding) -> usize {
+    match encoding {
+        WireEncoding::Ndjson => 0,
+        WireEncoding::BinaryV1 => 1,
+    }
 }
 
 fn bucket_label(edge: Option<u64>) -> String {
@@ -192,6 +209,8 @@ impl ServerStats {
         let stages = STAGES.map(|s| {
             registry.histogram(&format!("request_stage_{}_ns", s.as_str()), &STAGE_EDGES_NS)
         });
+        let serialize_encodings = SERIALIZE_ENCODINGS
+            .map(|name| registry.histogram(&format!("request_stage_{name}_ns"), &STAGE_EDGES_NS));
         ServerStats {
             requests: registry.counter("requests_total"),
             errors: registry.counter("request_errors_total"),
@@ -203,6 +222,7 @@ impl ServerStats {
             requests_shed: registry.counter("requests_shed_total"),
             degradations: registry.counter("degradations_total"),
             stages,
+            serialize_encodings,
             registry,
         }
     }
@@ -231,6 +251,13 @@ impl ServerStats {
     /// Records time spent in one pipeline stage of a request.
     pub fn record_stage(&self, stage: Stage, dur_ns: u64) {
         self.stages[stage.index()].observe(dur_ns);
+    }
+
+    /// Records serialize-stage time against the wire encoding that
+    /// produced the response (additive detail; the canonical
+    /// `serialize` stage histogram is recorded separately).
+    pub fn record_serialize_encoding(&self, encoding: WireEncoding, dur_ns: u64) {
+        self.serialize_encodings[encoding_slot(encoding)].observe(dur_ns);
     }
 
     /// Records a completed batch: how many points, how long the
@@ -279,6 +306,20 @@ impl ServerStats {
                 }
             })
             .collect();
+        let serialize_encodings = SERIALIZE_ENCODINGS
+            .iter()
+            .zip(&self.serialize_encodings)
+            .map(|(&name, h)| {
+                let snap = h.snapshot();
+                StageSnapshot {
+                    stage: name.to_string(),
+                    count: snap.count,
+                    total_ns: snap.sum,
+                    mean_ns: snap.mean(),
+                    buckets: buckets_of(h, ns_label),
+                }
+            })
+            .collect();
         StatsSnapshot {
             requests: self.requests.get(),
             errors: self.errors.get(),
@@ -295,6 +336,7 @@ impl ServerStats {
             requests_shed: self.requests_shed.get(),
             degradations: self.degradations.get(),
             stages,
+            serialize_encodings,
         }
     }
 }
@@ -365,6 +407,33 @@ mod tests {
         assert_eq!(eval.buckets[4].le, "10ms");
         assert_eq!(eval.buckets[4].count, 1);
         assert_eq!(snap.stages[1].count, 0, "lookup untouched");
+    }
+
+    #[test]
+    fn serialize_stage_splits_by_encoding() {
+        let s = ServerStats::new();
+        s.record_stage(Stage::Serialize, 2_000);
+        s.record_serialize_encoding(WireEncoding::Ndjson, 2_000);
+        s.record_stage(Stage::Serialize, 500);
+        s.record_serialize_encoding(WireEncoding::BinaryV1, 500);
+        s.record_serialize_encoding(WireEncoding::BinaryV1, 700);
+        let snap = s.snapshot();
+        // Canonical stage list is untouched by the split.
+        assert_eq!(snap.stages.len(), 5);
+        assert_eq!(snap.stages[4].count, 2);
+        let names: Vec<&str> = snap
+            .serialize_encodings
+            .iter()
+            .map(|st| st.stage.as_str())
+            .collect();
+        assert_eq!(names, ["serialize_ndjson", "serialize_binary"]);
+        assert_eq!(snap.serialize_encodings[0].count, 1);
+        assert_eq!(snap.serialize_encodings[0].total_ns, 2_000);
+        assert_eq!(snap.serialize_encodings[1].count, 2);
+        assert_eq!(snap.serialize_encodings[1].total_ns, 1_200);
+        let text = s.metrics_ndjson();
+        assert!(text.contains("\"metric\":\"request_stage_serialize_ndjson_ns\""));
+        assert!(text.contains("\"metric\":\"request_stage_serialize_binary_ns\""));
     }
 
     #[test]

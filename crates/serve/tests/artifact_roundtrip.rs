@@ -301,6 +301,134 @@ fn garbage_and_missing_fields_are_bad_format() {
     }
 }
 
+/// Minor-2 artifacts carry every model float bit-exactly in the hex
+/// `f64_data` pool; the JSON payload holds only marker strings. The
+/// loader must restore the pool and the envelope text must advertise the
+/// new fields.
+#[test]
+fn minor2_artifact_pools_floats_out_of_the_json_payload() {
+    let model = fig1_model();
+    let text = awesym_serve::to_artifact_string(&model).unwrap();
+    assert!(text.contains("\"minor\":2"), "{:.120}", text);
+    assert!(text.contains("\"f64_data\":\""));
+    // The pool is non-empty (models always carry nominal values) and the
+    // markers land in the payload in its place.
+    let envelope: serde::Content = serde_json::from_str(&text).unwrap();
+    let count = envelope
+        .get("f64_count")
+        .and_then(serde::Content::as_u64)
+        .unwrap();
+    assert!(count > 0);
+    let data = envelope
+        .get("f64_data")
+        .and_then(serde::Content::as_str)
+        .unwrap();
+    assert_eq!(data.len() as u64, 16 * count);
+    assert!(data.bytes().all(|b| b.is_ascii_hexdigit()));
+    let payload = envelope
+        .get("payload")
+        .and_then(serde::Content::as_str)
+        .unwrap();
+    // The marker's U+0001 prefix is JSON-escaped inside the payload text.
+    assert!(payload.contains("\\u0001f64:0"));
+    // No float literal survives in the payload: every number left is an
+    // integer (indices, counts, op codes).
+    assert!(!payload.contains(|c: char| c == '.'));
+    let back = from_artifact_str(&text).unwrap();
+    let vals = model.nominal().to_vec();
+    assert_eq!(back.eval_moments(&vals), model.eval_moments(&vals));
+}
+
+/// Tampering with the float pool — flipped hex, truncated pool, or an
+/// inconsistent `f64_count` — must be a typed rejection, never a model
+/// with silently perturbed coefficients.
+#[test]
+fn minor2_f64_data_tampering_is_rejected() {
+    let model = fig1_model();
+    let text = awesym_serve::to_artifact_string(&model).unwrap();
+    // 1) Flip one hex digit inside f64_data: checksum catches it.
+    let pos = text.find("\"f64_data\":\"").unwrap() + "\"f64_data\":\"".len();
+    let mut bytes = text.clone().into_bytes();
+    bytes[pos] = if bytes[pos] == b'5' { b'6' } else { b'5' };
+    let tampered = String::from_utf8(bytes).unwrap();
+    assert!(matches!(
+        from_artifact_str(&tampered),
+        Err(ServeError::ChecksumMismatch { .. })
+    ));
+    // Rebuild envelopes with *correct* checksums so only the structural
+    // gates can reject them. The minor-2 checksum is FNV over the payload
+    // bytes followed by the pool bytes — i.e. over their concatenation.
+    let envelope: serde::Content = serde_json::from_str(&text).unwrap();
+    let payload = envelope
+        .get("payload")
+        .and_then(serde::Content::as_str)
+        .unwrap();
+    let data = envelope
+        .get("f64_data")
+        .and_then(serde::Content::as_str)
+        .unwrap();
+    let count = envelope
+        .get("f64_count")
+        .and_then(serde::Content::as_u64)
+        .unwrap();
+    let reenvelope = |payload: &str, data: &str, count: u64| {
+        serde_json::to_string(&serde::Content::Map(vec![
+            ("format".into(), serde::Content::Str("awesym-model".into())),
+            ("version".into(), serde::Content::U64(1)),
+            ("minor".into(), serde::Content::U64(2)),
+            (
+                "checksum".into(),
+                serde::Content::Str(awesym_serve::checksum(&format!("{payload}{data}"))),
+            ),
+            ("f64_count".into(), serde::Content::U64(count)),
+            ("f64_data".into(), serde::Content::Str(data.into())),
+            ("payload".into(), serde::Content::Str(payload.into())),
+        ]))
+        .unwrap()
+    };
+    // Sanity: a faithful re-envelope loads, proving the checksum recipe.
+    assert!(from_artifact_str(&reenvelope(payload, data, count)).is_ok());
+    // 2) Pool truncated by one value, count left stale: length gate.
+    let truncated = reenvelope(payload, &data[..data.len() - 16], count);
+    assert!(matches!(
+        from_artifact_str(&truncated),
+        Err(ServeError::BadFormat { .. })
+    ));
+    // 3) Count understates the pool: markers point past the pool.
+    let undercount = reenvelope(payload, &data[..16], 1);
+    assert!(matches!(
+        from_artifact_str(&undercount),
+        Err(ServeError::BadFormat { .. })
+    ));
+    // 4) Non-hex bytes in a right-sized pool.
+    let mut garbled: Vec<u8> = data.into();
+    garbled[0] = b'z';
+    let garbled = reenvelope(payload, std::str::from_utf8(&garbled).unwrap(), count);
+    assert!(matches!(
+        from_artifact_str(&garbled),
+        Err(ServeError::BadFormat { .. })
+    ));
+}
+
+/// A model whose strings could be mistaken for float markers (only
+/// reachable with adversarial symbol names) must fall back to the legacy
+/// inline-float envelope rather than corrupt itself.
+#[test]
+fn marker_colliding_names_fall_back_to_legacy_form() {
+    let (_, w, _) = cases().remove(0);
+    let bindings = vec![SymbolBinding::capacitance(
+        "\u{1}f64:0",
+        vec![w.circuit.find("C1").unwrap()],
+    )];
+    let model = CompiledModel::build(&w.circuit, w.input, w.output, &bindings, 2).unwrap();
+    let text = awesym_serve::to_artifact_string(&model).unwrap();
+    assert!(!text.contains("f64_data"), "{:.120}", text);
+    assert!(text.contains("\"minor\":1"));
+    let back = from_artifact_str(&text).unwrap();
+    let vals = model.nominal().to_vec();
+    assert_eq!(back.eval_moments(&vals), model.eval_moments(&vals));
+}
+
 #[test]
 fn load_model_file_accepts_raw_model_json_too() {
     let dir = TempDirLite::new("awesym_artifact_raw");

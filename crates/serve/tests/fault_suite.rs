@@ -94,7 +94,7 @@ fn batch_line(model: &str, points: Vec<Vec<f64>>, extra: &[(&str, Content)]) -> 
 
 fn parse(server: &Server, line: &str) -> Content {
     let resp = server.handle_line(line).expect("non-empty request line");
-    serde_json::from_str(&resp.text).expect("response is JSON")
+    serde_json::from_str(resp.text()).expect("response is JSON")
 }
 
 fn ok_of(c: &Content) -> bool {
@@ -324,6 +324,85 @@ fn overfit_model_degrades_to_lower_order_and_reports_it() {
         .unwrap()
         .contains("order 3"));
     assert_eq!(server_counter(&server, "degradations"), 1);
+}
+
+/// Acceptance gate for the binary wire format: on the same seeded
+/// 1200-point faulted batch, the binary-v1 frame must carry exactly the
+/// values and error codes the NDJSON response carries — healthy points
+/// bit-identical, faulted points with matching typed codes and NaN value
+/// slots.
+#[test]
+fn binary_frame_is_bit_identical_to_ndjson_on_a_faulted_batch() {
+    let _guard = plan_guard();
+    let server = Server::default();
+    assert!(ok_of(&parse(&server, &compile_line("m", 2))));
+    let plan = FaultPlan {
+        seed: 0xBEEF,
+        panic_rate_pct: 10,
+        nan_rate_pct: 10,
+        slow_rate_pct: 0,
+        slow: Duration::ZERO,
+    };
+    let nd_req = batch_line("m", grid(1200), &[("workers", Content::U64(4))]);
+    let bin_req = batch_line(
+        "m",
+        grid(1200),
+        &[
+            ("workers", Content::U64(4)),
+            ("encoding", Content::Str("binary-v1".into())),
+        ],
+    );
+
+    // Same plan for both runs: faults are a pure function of the point
+    // index, so the two responses describe identical evaluations.
+    faults::install(plan);
+    let nd = quiet_panics(|| parse(&server, &nd_req));
+    faults::clear();
+    faults::install(plan);
+    let bin = quiet_panics(|| {
+        server
+            .handle_line(&bin_req)
+            .expect("non-empty request line")
+    });
+    faults::clear();
+
+    assert!(ok_of(&nd), "{nd:?}");
+    let frame = awesym_serve::decode_frame(&bin.body).expect("well-formed binary frame");
+    assert_eq!(frame.count, 1200);
+    assert_eq!(frame.cols, 4, "2q moment columns at order 2");
+    assert_eq!(
+        Some(frame.ok_count),
+        nd.get("ok_count").and_then(Content::as_u64)
+    );
+    let results = nd.get("results").and_then(Content::as_seq).unwrap();
+    assert_eq!(results.len(), 1200);
+    let mut faulted = 0usize;
+    for (i, r) in results.iter().enumerate() {
+        match r.get("code").and_then(Content::as_str) {
+            Some(code) => {
+                let wire = frame.code(i).expect("known error code");
+                assert_eq!(wire.as_str(), code, "point {i}");
+                assert!(
+                    frame.point(i).iter().all(|v| v.is_nan()),
+                    "point {i}: error slots must be NaN"
+                );
+                faulted += 1;
+            }
+            None => {
+                let moments = r
+                    .get("moments")
+                    .and_then(Content::as_seq)
+                    .unwrap_or_else(|| panic!("point {i}: missing moments"));
+                let nd_bits: Vec<u64> = moments
+                    .iter()
+                    .map(|m| m.as_f64().unwrap().to_bits())
+                    .collect();
+                let bin_bits: Vec<u64> = frame.point(i).iter().map(|v| v.to_bits()).collect();
+                assert_eq!(nd_bits, bin_bits, "point {i}");
+            }
+        }
+    }
+    assert!(faulted > 120, "{faulted} faulted of 1200");
 }
 
 #[test]

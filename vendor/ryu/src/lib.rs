@@ -1,0 +1,607 @@
+//! Offline stand-in for `ryu`: fast shortest-round-trip `f64` → decimal
+//! formatting without allocating and without going through `core::fmt`.
+//!
+//! The real ryu crate implements the Ryū algorithm with large
+//! precomputed tables. This stand-in implements **Grisu2** (Loitsch,
+//! "Printing Floating-Point Numbers Quickly and Accurately with
+//! Integers", PLDI 2010) with the boundary narrowing used by rapidjson:
+//! after the cached-power multiplication the upper boundary is lowered
+//! and the lower boundary raised by one unit, which makes every emitted
+//! digit string parse back to the original bits under a correctly
+//! rounded parser (Rust's `str::parse::<f64>` is correctly rounded).
+//! Grisu2 output is *round-trip safe for every finite f64*; in a small
+//! fraction of cases it emits one more digit than strictly necessary,
+//! which is an accepted trade for needing no fallback path.
+//!
+//! Output shape matches Rust's `{:e}` formatting — `d[.ddd]e<exp>` with
+//! no `+` on positive exponents (`1.5e-9`, `5e-1`, `0e0`, `-0e0`) — so
+//! the produced text is always a valid JSON number and byte-compatible
+//! with what the workspace previously produced via `format!("{v:e}")`.
+//!
+//! The cached powers of ten are generated at compile time by a `const
+//! fn` using 127-bit fixed-point arithmetic (error ≲ 2⁻¹¹⁴ relative,
+//! far below the half-ulp of the 64-bit significands Grisu needs), so
+//! the crate carries no hand-transcribed magic tables.
+
+#![forbid(unsafe_code)]
+#![deny(clippy::unwrap_used)]
+
+/// A 64-bit significand × 2^e floating-point value ("do-it-yourself
+/// float"), the working representation of Grisu.
+#[derive(Debug, Clone, Copy)]
+struct DiyFp {
+    f: u64,
+    e: i32,
+}
+
+/// Significand bits of an `f64`.
+const SIG_BITS: u32 = 52;
+/// The implicit leading bit of a normal `f64` significand.
+const HIDDEN_BIT: u64 = 1 << SIG_BITS;
+/// Unbiased exponent of the least significant significand bit.
+const MIN_EXP: i32 = -1075;
+
+impl DiyFp {
+    /// Decomposes a finite positive `f64` without normalizing.
+    fn from_f64(v: f64) -> DiyFp {
+        let bits = v.to_bits();
+        let biased = ((bits >> SIG_BITS) & 0x7ff) as i32;
+        let frac = bits & (HIDDEN_BIT - 1);
+        if biased == 0 {
+            // Subnormal: no hidden bit.
+            DiyFp {
+                f: frac,
+                e: MIN_EXP + 1,
+            }
+        } else {
+            DiyFp {
+                f: frac | HIDDEN_BIT,
+                e: biased + MIN_EXP,
+            }
+        }
+    }
+
+    /// Shifts the significand until bit 63 is set.
+    fn normalize(self) -> DiyFp {
+        let s = self.f.leading_zeros() as i32;
+        DiyFp {
+            f: self.f << s,
+            e: self.e - s,
+        }
+    }
+
+    /// Rounded-to-nearest 64×64→64 significand product;
+    /// exponents add (plus 64 for the dropped low word).
+    fn mul(self, rhs: DiyFp) -> DiyFp {
+        let p = u128::from(self.f) * u128::from(rhs.f);
+        let h = (p >> 64) as u64;
+        let l = p as u64;
+        DiyFp {
+            f: h + (l >> 63),
+            e: self.e + rhs.e + 64,
+        }
+    }
+}
+
+/// The normalized boundaries (m⁻, m⁺) of `v`: the midpoints to the
+/// neighbouring representable doubles, both brought to m⁺'s exponent.
+fn normalized_boundaries(v: DiyFp) -> (DiyFp, DiyFp) {
+    let plus = DiyFp {
+        f: (v.f << 1) + 1,
+        e: v.e - 1,
+    }
+    .normalize();
+    // The lower gap is half-sized when v sits exactly on a power of two
+    // (the predecessor is one binade down), except at the very bottom.
+    let minus = if v.f == HIDDEN_BIT && v.e > MIN_EXP + 1 {
+        DiyFp {
+            f: (v.f << 2) - 1,
+            e: v.e - 2,
+        }
+    } else {
+        DiyFp {
+            f: (v.f << 1) - 1,
+            e: v.e - 1,
+        }
+    };
+    (
+        DiyFp {
+            f: minus.f << (minus.e - plus.e),
+            e: plus.e,
+        },
+        plus,
+    )
+}
+
+/// Cached powers of ten 10^k for k ∈ [POW10_MIN, POW10_MAX], each as a
+/// normalized `(significand, exponent)` pair. Generated at compile time;
+/// see [`build_pow10_cache`].
+const POW10_MIN: i32 = -350;
+const POW10_MAX: i32 = 350;
+const POW10_COUNT: usize = (POW10_MAX - POW10_MIN + 1) as usize;
+static POW10_CACHE: [(u64, i32); POW10_COUNT] = build_pow10_cache();
+
+/// Builds the cached-power table in 127-bit fixed point.
+///
+/// Working representation: `value = f × 2^e` with `f` normalized to
+/// `[2^126, 2^127)` in a `u128`. Stepping up multiplies by 10 via
+/// `(f >> 4) * 10` (the dropped 4 bits cost < 2⁻¹²² relative error per
+/// step); stepping down divides by 10 via
+/// `(f / 10) << 4 + ((f % 10) << 4) / 10` (< 2 units of 2⁻¹²⁷ per
+/// step). Over ≤ 350 steps the accumulated error stays below 2⁻¹¹⁴
+/// relative — the final round-to-nearest 64-bit significand is exact
+/// except within 2⁻¹¹⁴ of a tie, far tighter than the ≤ 1-ulp cached
+/// powers the Grisu correctness argument assumes.
+const fn build_pow10_cache() -> [(u64, i32); POW10_COUNT] {
+    let mut table = [(0u64, 0i32); POW10_COUNT];
+    // Round a 127-bit-normalized (f, e) down to a 64-bit DiyFp.
+    const fn to_diy(f: u128, e: i32) -> (u64, i32) {
+        let mut hi = (f >> 63) as u64;
+        // Round to nearest on the dropped 63 bits.
+        if (f >> 62) & 1 == 1 {
+            hi = hi.wrapping_add(1);
+            if hi == 0 {
+                // Carried out of 64 bits: 2^64 → 2^63 with e + 1.
+                return (1u64 << 63, e + 64);
+            }
+        }
+        (hi, e + 63)
+    }
+    // 10^0 = 1 = 2^126 × 2^-126.
+    let mut f: u128 = 1u128 << 126;
+    let mut e: i32 = -126;
+    table[(-POW10_MIN) as usize] = to_diy(f, e);
+    let mut k: i32 = 1;
+    while k <= POW10_MAX {
+        // Multiply by 10, renormalize to [2^126, 2^127).
+        f = (f >> 4) * 10;
+        e += 4;
+        while f < (1u128 << 126) {
+            f <<= 1;
+            e -= 1;
+        }
+        table[(k - POW10_MIN) as usize] = to_diy(f, e);
+        k += 1;
+    }
+    f = 1u128 << 126;
+    e = -126;
+    k = -1;
+    while k >= POW10_MIN {
+        // Divide by 10 with 4 guard bits, renormalize.
+        let q = f / 10;
+        let r = f % 10;
+        f = (q << 4) + (r << 4) / 10;
+        e -= 4;
+        if f >= (1u128 << 127) {
+            f >>= 1;
+            e += 1;
+        }
+        table[(k - POW10_MIN) as usize] = to_diy(f, e);
+        k -= 1;
+    }
+    table
+}
+
+/// Grisu's target window for the scaled exponent: after multiplying by
+/// the cached power, `w.e` must land in [ALPHA, GAMMA].
+const ALPHA: i32 = -60;
+const GAMMA: i32 = -32;
+
+/// Picks the cached power 10^(-k) that scales binary exponent `e` into
+/// the [ALPHA, GAMMA] window, returning `(power, k)`.
+fn cached_power(e: i32) -> (DiyFp, i32) {
+    // First guess from k ≈ (ALPHA - e - 63) · log10(2), then walk the
+    // dense table until the window condition holds (at most a step or
+    // two; the window is 28 bits wide versus log2(10) ≈ 3.3 per step).
+    let mut k = ((f64::from(ALPHA - e - 63)) * core::f64::consts::LOG10_2).ceil() as i32;
+    loop {
+        let idx = (k - POW10_MIN) as usize;
+        let (f, ce) = POW10_CACHE[idx];
+        let scaled = e + ce + 64;
+        if scaled < ALPHA {
+            k += 1;
+        } else if scaled > GAMMA {
+            k -= 1;
+        } else {
+            return (DiyFp { f, e: ce }, -k);
+        }
+    }
+}
+
+/// Small exact powers of ten for the integral digit loop.
+const POW10_U32: [u32; 10] = [
+    1,
+    10,
+    100,
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+/// Exact powers of ten for the fractional rounding scale (`10^0` …
+/// `10^19`, everything a u64 holds — up to 19 fractional digits can be
+/// emitted before the loop terminates).
+const POW10_U64: [u64; 20] = {
+    let mut t = [1u64; 20];
+    let mut i = 1;
+    while i < 20 {
+        t[i] = t[i - 1] * 10;
+        i += 1;
+    }
+    t
+};
+
+/// Nudges the last emitted digit towards `w` (the exact scaled value)
+/// while staying inside the rounding interval — the step that makes the
+/// digits round-trip.
+fn grisu_round(buf: &mut [u8], len: usize, delta: u64, mut rest: u64, ten_kappa: u64, wp_w: u64) {
+    while rest < wp_w
+        && delta - rest >= ten_kappa
+        && (rest + ten_kappa < wp_w || wp_w - rest > rest + ten_kappa - wp_w)
+    {
+        buf[len - 1] -= 1;
+        rest += ten_kappa;
+    }
+}
+
+/// Number of decimal digits in `n` (n ≥ 1).
+fn decimal_digits(n: u32) -> usize {
+    let mut d = 1;
+    while n >= POW10_U32[d] {
+        d += 1;
+        if d == POW10_U32.len() {
+            break;
+        }
+    }
+    d
+}
+
+/// Generates the shortest-within-bounds digits of `w` into `buf`,
+/// returning `(digit_count, decimal_exponent_adjust)`.
+fn digit_gen(w: DiyFp, mp: DiyFp, mut delta: u64, buf: &mut [u8]) -> (usize, i32) {
+    let one = DiyFp {
+        f: 1u64 << (-mp.e),
+        e: mp.e,
+    };
+    let wp_w = mp.f - w.f;
+    let mut p1 = (mp.f >> (-one.e)) as u32;
+    let mut p2 = mp.f & (one.f - 1);
+    let mut kappa = decimal_digits(p1) as i32;
+    let mut len = 0usize;
+    // Integral digits.
+    while kappa > 0 {
+        let pow = POW10_U32[(kappa - 1) as usize];
+        let d = p1 / pow;
+        p1 %= pow;
+        if len > 0 || d > 0 {
+            buf[len] = b'0' + d as u8;
+            len += 1;
+        }
+        kappa -= 1;
+        let rest = (u64::from(p1) << (-one.e)) + p2;
+        if rest <= delta {
+            grisu_round(
+                buf,
+                len,
+                delta,
+                rest,
+                u64::from(POW10_U32[kappa as usize]) << (-one.e),
+                wp_w,
+            );
+            return (len, kappa);
+        }
+    }
+    // Fractional digits.
+    loop {
+        p2 *= 10;
+        delta *= 10;
+        let d = (p2 >> (-one.e)) as u8;
+        if len > 0 || d > 0 {
+            buf[len] = b'0' + d;
+            len += 1;
+        }
+        p2 &= one.f - 1;
+        kappa -= 1;
+        if p2 < delta {
+            let scale = POW10_U64[(-kappa) as usize];
+            grisu_round(buf, len, delta, p2, one.f, wp_w.saturating_mul(scale));
+            return (len, kappa);
+        }
+    }
+}
+
+/// Runs Grisu2 on a finite positive `v`: digits into `buf`, returning
+/// `(digit_count, k)` with `value = 0.digits × 10^(k + digit_count)` —
+/// i.e. the decimal exponent of the leading digit is `k + count - 1`.
+fn grisu2(v: f64, buf: &mut [u8]) -> (usize, i32) {
+    let w = DiyFp::from_f64(v);
+    let (wm, wp) = normalized_boundaries(w);
+    let (c_mk, k0) = cached_power(wp.e);
+    let scaled_w = w.normalize().mul(c_mk);
+    let mut scaled_p = wp.mul(c_mk);
+    let mut scaled_m = wm.mul(c_mk);
+    // Narrow the interval by one unit on each side: absorbs the ≤ 1-ulp
+    // error of the cached power and the multiplications, guaranteeing
+    // that any value inside still rounds back to `v`.
+    scaled_p.f -= 1;
+    scaled_m.f += 1;
+    let delta = scaled_p.f - scaled_m.f;
+    let (len, kappa) = digit_gen(scaled_w, scaled_p, delta, buf);
+    (len, k0 + kappa)
+}
+
+/// Maximum bytes a formatted f64 needs:
+/// `-` + 17 digits + `.` + `e-` + 3 exponent digits = 25; rounded up.
+const BUF_LEN: usize = 32;
+
+/// Reusable formatting buffer, mirroring the real ryu's API.
+///
+/// ```
+/// let mut b = ryu::Buffer::new();
+/// assert_eq!(b.format(1.5e-9), "1.5e-9");
+/// assert_eq!(b.format(0.5), "5e-1");
+/// assert_eq!(b.format(0.0), "0e0");
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Buffer {
+    bytes: [u8; BUF_LEN],
+}
+
+impl Default for Buffer {
+    fn default() -> Self {
+        Buffer::new()
+    }
+}
+
+impl Buffer {
+    /// A fresh buffer (stack-allocated, trivially copyable).
+    #[must_use]
+    pub fn new() -> Self {
+        Buffer {
+            bytes: [0; BUF_LEN],
+        }
+    }
+
+    /// Formats any `f64`, spelling non-finite values `NaN` / `inf` /
+    /// `-inf` (callers producing JSON must special-case those first).
+    pub fn format(&mut self, v: f64) -> &str {
+        if v.is_nan() {
+            return "NaN";
+        }
+        if v.is_infinite() {
+            return if v < 0.0 { "-inf" } else { "inf" };
+        }
+        self.format_finite(v)
+    }
+
+    /// Formats a finite `f64` in `{:e}` style: shortest digits that
+    /// parse back to the same bits, as `d[.ddd]e<exp>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `v` is not finite.
+    pub fn format_finite(&mut self, v: f64) -> &str {
+        debug_assert!(v.is_finite());
+        let mut pos = 0usize;
+        if v.is_sign_negative() {
+            self.bytes[pos] = b'-';
+            pos += 1;
+        }
+        if v == 0.0 {
+            self.bytes[pos..pos + 3].copy_from_slice(b"0e0");
+            return self.as_str(pos + 3);
+        }
+        let mut digits = [0u8; 20];
+        let (len, k) = grisu2(v.abs(), &mut digits);
+        let exp = k + len as i32 - 1;
+        self.bytes[pos] = digits[0];
+        pos += 1;
+        if len > 1 {
+            self.bytes[pos] = b'.';
+            pos += 1;
+            self.bytes[pos..pos + len - 1].copy_from_slice(&digits[1..len]);
+            pos += len - 1;
+        }
+        self.bytes[pos] = b'e';
+        pos += 1;
+        pos = write_i32(exp, &mut self.bytes, pos);
+        self.as_str(pos)
+    }
+
+    fn as_str(&self, len: usize) -> &str {
+        // The buffer only ever holds ASCII produced above.
+        std::str::from_utf8(&self.bytes[..len]).unwrap_or("")
+    }
+}
+
+/// Writes a small signed integer (decimal exponents: |n| ≤ 324) at
+/// `pos`, returning the new position.
+fn write_i32(n: i32, out: &mut [u8], mut pos: usize) -> usize {
+    let mut v = n;
+    if v < 0 {
+        out[pos] = b'-';
+        pos += 1;
+        v = -v;
+    }
+    let mut tmp = [0u8; 10];
+    let mut t = 0usize;
+    loop {
+        tmp[t] = b'0' + (v % 10) as u8;
+        t += 1;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    while t > 0 {
+        t -= 1;
+        out[pos] = tmp[t];
+        pos += 1;
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fmt(v: f64) -> String {
+        Buffer::new().format(v).to_string()
+    }
+
+    #[test]
+    fn zeroes_and_signs() {
+        assert_eq!(fmt(0.0), "0e0");
+        assert_eq!(fmt(-0.0), "-0e0");
+        assert_eq!(fmt(1.0), "1e0");
+        assert_eq!(fmt(-1.0), "-1e0");
+    }
+
+    #[test]
+    fn non_finite_spellings() {
+        assert_eq!(fmt(f64::NAN), "NaN");
+        assert_eq!(fmt(f64::INFINITY), "inf");
+        assert_eq!(fmt(f64::NEG_INFINITY), "-inf");
+    }
+
+    #[test]
+    fn matches_rust_e_format_on_simple_values() {
+        // On values where shortest representations are unambiguous the
+        // output is byte-identical to `format!("{v:e}")`.
+        for v in [
+            1.0, -1.0, 0.5, 1.5e-9, 2.5e3, 1e300, 1e-300, 3.25625, 123.456, 6.02e23, 1e-45,
+        ] {
+            assert_eq!(fmt(v), format!("{v:e}"), "{v}");
+        }
+    }
+
+    #[test]
+    fn extremes_round_trip() {
+        for v in [
+            f64::MAX,
+            f64::MIN,
+            f64::MIN_POSITIVE,
+            5e-324,               // smallest subnormal
+            2.2250738585072e-308, // near the subnormal boundary
+            f64::EPSILON,
+            1.0 + f64::EPSILON,
+        ] {
+            let s = fmt(v);
+            let back: f64 = s.parse().unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v:e} -> {s}");
+        }
+    }
+
+    #[test]
+    fn pow10_cache_agrees_with_exact_small_powers() {
+        // 10^k fits in a u64 through k = 19, and the 127-bit build is
+        // exact there (5^k still has ≥ 63 trailing zero bits after
+        // normalization) — so the cached entry must equal the exactly
+        // normalized value, with the exact exponent.
+        for k in 0..=19i32 {
+            let exact: u64 = 10u64.pow(k as u32);
+            let lz = exact.leading_zeros();
+            let (f, e) = POW10_CACHE[(k - POW10_MIN) as usize];
+            assert_eq!(f, exact << lz, "10^{k} significand");
+            assert_eq!(e, -(lz as i32), "10^{k} exponent");
+        }
+    }
+
+    #[test]
+    fn pow10_cache_magnitudes_are_right() {
+        // Every cached (f, e) must satisfy f × 2^e ≈ 10^k to ~1e-12.
+        for k in (POW10_MIN..=POW10_MAX).step_by(7) {
+            let (f, e) = POW10_CACHE[(k - POW10_MIN) as usize];
+            assert!(f.leading_zeros() == 0, "10^{k} not normalized");
+            let log2 = (f as f64).log2() + f64::from(e);
+            let expect = f64::from(k) * std::f64::consts::LOG2_10;
+            assert!(
+                (log2 - expect).abs() < 1e-9,
+                "10^{k}: log2 {log2} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn exhaustive_round_trip_on_pseudorandom_bits() {
+        // splitmix64 over raw bit patterns: every finite pattern must
+        // round-trip bit-exactly through format → parse.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let mut buf = Buffer::new();
+        let mut tested = 0u32;
+        while tested < 20_000 {
+            let v = f64::from_bits(next());
+            if !v.is_finite() {
+                continue;
+            }
+            tested += 1;
+            let s = buf.format(v);
+            let back: f64 = s.parse().unwrap_or(f64::NAN);
+            assert_eq!(back.to_bits(), v.to_bits(), "{v:e} -> {s}");
+        }
+    }
+
+    #[test]
+    fn round_trip_across_all_binades() {
+        // One value per binary exponent, plus boundary-of-binade cases
+        // (v.f == HIDDEN_BIT triggers the asymmetric lower gap).
+        let mut buf = Buffer::new();
+        for exp_bits in 1..2047u64 {
+            for frac in [
+                0u64,
+                1,
+                (1 << 52) - 1,
+                0x000F_5678_9ABC_DEF0 & ((1 << 52) - 1),
+            ] {
+                let v = f64::from_bits((exp_bits << 52) | frac);
+                let s = buf.format(v);
+                let back: f64 = s.parse().unwrap_or(f64::NAN);
+                assert_eq!(back.to_bits(), v.to_bits(), "{v:e} -> {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn subnormals_round_trip() {
+        let mut buf = Buffer::new();
+        for frac in [1u64, 2, 3, 0xFFFFF, (1 << 52) - 1] {
+            let v = f64::from_bits(frac);
+            let s = buf.format(v);
+            let back: f64 = s.parse().unwrap_or(f64::NAN);
+            assert_eq!(back.to_bits(), v.to_bits(), "{v:e} -> {s}");
+        }
+    }
+
+    #[test]
+    fn output_is_valid_json_number_grammar() {
+        // digits, optional single '.', 'e', optional '-', digits.
+        let mut buf = Buffer::new();
+        for v in [1.0, -2.5, 3.25625e-12, 9.999999999999999e22, -5e-324] {
+            let s = buf.format(v);
+            let rest = s.strip_prefix('-').unwrap_or(s);
+            let (mant, exp) = rest.split_once('e').expect("has exponent");
+            let exp = exp.strip_prefix('-').unwrap_or(exp);
+            assert!(
+                !exp.is_empty() && exp.bytes().all(|b| b.is_ascii_digit()),
+                "{s}"
+            );
+            let mant_no_dot = mant.replacen('.', "", 1);
+            assert!(
+                !mant_no_dot.is_empty() && mant_no_dot.bytes().all(|b| b.is_ascii_digit()),
+                "{s}"
+            );
+            assert!(!mant.starts_with('.') && !mant.ends_with('.'), "{s}");
+        }
+    }
+}

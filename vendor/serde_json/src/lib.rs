@@ -1,9 +1,16 @@
 //! Offline stand-in for `serde_json`.
 //!
 //! Renders the vendored serde's [`Content`] tree to JSON text and parses
-//! JSON text back. Floats are written with Rust's shortest-round-trip
-//! formatting (`{:e}`), so values survive a round trip bit-exactly;
-//! non-finite floats serialize as `null`, matching real serde_json.
+//! JSON text back. Floats are written with the vendored `ryu` formatter
+//! (shortest round-trip, `{:e}`-shaped), so values survive a round trip
+//! bit-exactly without allocating per float; non-finite floats serialize
+//! as `null`, matching real serde_json.
+//!
+//! Besides the `String`-returning [`to_string`] API, the byte-level
+//! writers ([`write_value`], [`write_f64`], [`write_escaped_str`]) are
+//! public so hot paths (the serve crate's response encoders) can stream
+//! JSON into a reused `Vec<u8>` instead of building intermediate trees
+//! and strings.
 
 use serde::{Content, Deserialize, Serialize};
 use std::fmt;
@@ -35,9 +42,10 @@ impl From<serde::Error> for Error {
 ///
 /// Infallible in this implementation; the `Result` mirrors serde_json.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
-    let mut out = String::new();
-    write_content(&value.to_content(), &mut out);
-    Ok(out)
+    let mut out = Vec::new();
+    write_value(&value.to_content(), &mut out);
+    // The writer only emits valid UTF-8 (escapes + str pushes).
+    String::from_utf8(out).map_err(|e| Error(format!("writer produced invalid UTF-8: {e}")))
 }
 
 /// Serializes a value to indented JSON text.
@@ -46,9 +54,9 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
 ///
 /// Infallible in this implementation; the `Result` mirrors serde_json.
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
-    let mut out = String::new();
+    let mut out = Vec::new();
     write_content_pretty(&value.to_content(), &mut out, 0);
-    Ok(out)
+    String::from_utf8(out).map_err(|e| Error(format!("writer produced invalid UTF-8: {e}")))
 }
 
 /// Converts a value to a [`Value`] tree.
@@ -89,100 +97,154 @@ pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
     Ok(T::from_content(&v)?)
 }
 
-fn write_escaped(s: &str, out: &mut String) {
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            '\u{08}' => out.push_str("\\b"),
-            '\u{0C}' => out.push_str("\\f"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+/// Parses JSON from UTF-8 bytes (e.g. a reused output buffer).
+///
+/// # Errors
+///
+/// Returns [`Error`] on invalid UTF-8, malformed JSON, or a shape
+/// mismatch.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text = std::str::from_utf8(bytes).map_err(|e| Error(format!("invalid UTF-8: {e}")))?;
+    from_str(text)
+}
+
+/// Appends a JSON string literal (quotes and escapes included) to a byte
+/// buffer. Runs of plain bytes are copied in bulk.
+pub fn write_escaped_str(s: &str, out: &mut Vec<u8>) {
+    out.push(b'"');
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        let esc: &[u8] = match b {
+            b'"' => b"\\\"",
+            b'\\' => b"\\\\",
+            b'\n' => b"\\n",
+            b'\r' => b"\\r",
+            b'\t' => b"\\t",
+            0x08 => b"\\b",
+            0x0C => b"\\f",
+            b if b < 0x20 => {
+                out.extend_from_slice(&bytes[start..i]);
+                const HEX: &[u8; 16] = b"0123456789abcdef";
+                out.extend_from_slice(b"\\u00");
+                out.push(HEX[usize::from(b >> 4)]);
+                out.push(HEX[usize::from(b & 0xF)]);
+                start = i + 1;
+                continue;
             }
-            c => out.push(c),
-        }
+            _ => continue,
+        };
+        out.extend_from_slice(&bytes[start..i]);
+        out.extend_from_slice(esc);
+        start = i + 1;
     }
-    out.push('"');
+    out.extend_from_slice(&bytes[start..]);
+    out.push(b'"');
 }
 
-fn write_f64(v: f64, out: &mut String) {
+/// Appends one `f64` as a JSON number (shortest round-trip via the
+/// vendored `ryu`); non-finite values become `null`, matching real
+/// serde_json. This is the single float→text path for the workspace.
+pub fn write_f64(v: f64, out: &mut Vec<u8>) {
     if v.is_finite() {
-        // `{:e}` is shortest-round-trip and always valid JSON (e.g. 1.5e-9).
-        out.push_str(&format!("{v:e}"));
+        let mut buf = ryu::Buffer::new();
+        out.extend_from_slice(buf.format_finite(v).as_bytes());
     } else {
-        out.push_str("null");
+        out.extend_from_slice(b"null");
     }
 }
 
-fn write_content(c: &Content, out: &mut String) {
+/// Appends a [`Content`] tree as compact JSON to a byte buffer — the
+/// allocation-free core behind [`to_string`], usable directly with a
+/// reused buffer.
+pub fn write_value(c: &Content, out: &mut Vec<u8>) {
     match c {
-        Content::Null => out.push_str("null"),
-        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Content::I64(v) => out.push_str(&v.to_string()),
-        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::Null => out.extend_from_slice(b"null"),
+        Content::Bool(b) => out.extend_from_slice(if *b { b"true".as_ref() } else { b"false" }),
+        Content::I64(v) => write_int(*v < 0, v.unsigned_abs(), out),
+        Content::U64(v) => write_int(false, *v, out),
         Content::F64(v) => write_f64(*v, out),
-        Content::Str(s) => write_escaped(s, out),
+        Content::Str(s) => write_escaped_str(s, out),
         Content::Seq(items) => {
-            out.push('[');
+            out.push(b'[');
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.push(b',');
                 }
-                write_content(item, out);
+                write_value(item, out);
             }
-            out.push(']');
+            out.push(b']');
         }
         Content::Map(entries) => {
-            out.push('{');
+            out.push(b'{');
             for (i, (k, v)) in entries.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.push(b',');
                 }
-                write_escaped(k, out);
-                out.push(':');
-                write_content(v, out);
+                write_escaped_str(k, out);
+                out.push(b':');
+                write_value(v, out);
             }
-            out.push('}');
+            out.push(b'}');
         }
     }
 }
 
-fn write_content_pretty(c: &Content, out: &mut String, indent: usize) {
-    let pad = |out: &mut String, n: usize| out.push_str(&"  ".repeat(n));
+/// Appends a decimal integer without allocating.
+fn write_int(neg: bool, v: u64, out: &mut Vec<u8>) {
+    if neg {
+        out.push(b'-');
+    }
+    let mut tmp = [0u8; 20];
+    let mut i = tmp.len();
+    let mut v = v;
+    loop {
+        i -= 1;
+        tmp[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&tmp[i..]);
+}
+
+fn write_content_pretty(c: &Content, out: &mut Vec<u8>, indent: usize) {
+    fn pad(out: &mut Vec<u8>, n: usize) {
+        for _ in 0..n {
+            out.extend_from_slice(b"  ");
+        }
+    }
     match c {
         Content::Seq(items) if !items.is_empty() => {
-            out.push_str("[\n");
+            out.extend_from_slice(b"[\n");
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push_str(",\n");
+                    out.extend_from_slice(b",\n");
                 }
                 pad(out, indent + 1);
                 write_content_pretty(item, out, indent + 1);
             }
-            out.push('\n');
+            out.push(b'\n');
             pad(out, indent);
-            out.push(']');
+            out.push(b']');
         }
         Content::Map(entries) if !entries.is_empty() => {
-            out.push_str("{\n");
+            out.extend_from_slice(b"{\n");
             for (i, (k, v)) in entries.iter().enumerate() {
                 if i > 0 {
-                    out.push_str(",\n");
+                    out.extend_from_slice(b",\n");
                 }
                 pad(out, indent + 1);
-                write_escaped(k, out);
-                out.push_str(": ");
+                write_escaped_str(k, out);
+                out.extend_from_slice(b": ");
                 write_content_pretty(v, out, indent + 1);
             }
-            out.push('\n');
+            out.push(b'\n');
             pad(out, indent);
-            out.push('}');
+            out.push(b'}');
         }
-        other => write_content(other, out),
+        other => write_value(other, out),
     }
 }
 
