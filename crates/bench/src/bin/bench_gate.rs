@@ -27,10 +27,27 @@
 //!   at 8 workers; a 1-core container (where parallel speedup is
 //!   physically impossible) only has to stay near flat.
 //!
-//! The fresh `BENCH_serve.json` carries one more structural check: the
+//! The fresh `BENCH_serve.json` carries two more structural checks: the
 //! serialize-stage mean in `observability.stages` must not exceed the
 //! eval-stage mean (the binary wire format keeps response encoding
-//! cheaper than evaluation; see `docs/wire-format.md`).
+//! cheaper than evaluation; see `docs/wire-format.md`), and the
+//! persistent worker pool's `pool.runs` speedup must reach the same
+//! core-count-aware floor as the timing bench — the steady-state fleet
+//! path must not regress to negative scaling.
+//!
+//! A fresh `BENCH_chaos.json` (written by `chaos_bench`, which needs
+//! `--features fault-injection`) is checked structurally when present —
+//! it is host-relative, so there is no baseline comparison:
+//!
+//! - `healthy_bit_identical` must be `true` (the healthy shard's results
+//!   under a storm on its neighbor match the fault-free run bit for bit);
+//! - `healthy_worker_deaths` must be `0`;
+//! - the healthy shard's storm p99 must stay inside
+//!   `baseline_p99 × 1.15 + 300 µs` and its storm throughput above
+//!   `85 %` of baseline. The absolute slack term covers idle-wake
+//!   scheduler noise on µs-scale requests (the storm interleave puts the
+//!   serving thread to sleep, and a small host pays a wake-up penalty
+//!   that is not crash leakage).
 //!
 //! Only *regressions* fail; faster-than-baseline results pass (CI hosts
 //! are noisy, so the threshold is deliberately generous — the gate exists
@@ -172,13 +189,111 @@ fn serve_checks(report: &Content, file: &str) -> Result<Vec<String>, String> {
          ({:.2}x)",
         serialize / eval
     );
+    let mut failures = Vec::new();
     if serialize > eval {
-        return Ok(vec![format!(
+        failures.push(format!(
             "{file}: serialize-stage mean {serialize:.0} ns exceeds eval-stage mean \
              {eval:.0} ns — response encoding is no longer cheaper than evaluation"
-        )]);
+        ));
     }
-    Ok(Vec::new())
+    // Persistent-pool scaling floor: same core-count-aware formula as the
+    // timing bench, applied to the steady-state fleet path.
+    let pool = report
+        .get("pool")
+        .ok_or_else(|| format!("{file}: missing 'pool' section"))?;
+    let host_cpus = pool
+        .get("host_cpus")
+        .and_then(Content::as_f64)
+        .ok_or_else(|| format!("{file}: missing 'pool.host_cpus'"))?;
+    let required = speedup_floor(host_cpus);
+    let runs = pool
+        .get("runs")
+        .and_then(Content::as_seq)
+        .ok_or_else(|| format!("{file}: missing 'pool.runs' array"))?;
+    let best_speedup = runs
+        .iter()
+        .filter_map(|r| r.get("speedup_vs_1").and_then(Content::as_f64))
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !best_speedup.is_finite() {
+        return Err(format!("{file}: no 'speedup_vs_1' in pool.runs"));
+    }
+    println!(
+        "      {file}: pool best speedup {best_speedup:.2}x \
+         (floor {required:.2}x at host_cpus={host_cpus})"
+    );
+    if best_speedup < required {
+        failures.push(format!(
+            "{file}: pool best worker speedup {best_speedup:.2}x below the \
+             {required:.2}x floor for host_cpus={host_cpus}"
+        ));
+    }
+    Ok(failures)
+}
+
+/// Core-count-aware worker-scaling floor: half the usable core count,
+/// capped at the 4x target for 8-worker runs on ≥8-core hosts.
+fn speedup_floor(host_cpus: f64) -> f64 {
+    (0.5 * host_cpus.min(8.0)).min(4.0)
+}
+
+/// Slack terms of the chaos isolation envelope (see module doc).
+const CHAOS_P99_RATIO: f64 = 1.15;
+const CHAOS_P99_SLACK_US: f64 = 300.0;
+const CHAOS_MIN_THROUGHPUT_RATIO: f64 = 0.85;
+
+/// Structural checks on a fresh `BENCH_chaos.json`: bit-identity of the
+/// healthy shard under a neighbor storm, zero collateral worker deaths,
+/// and the p99/throughput isolation envelope. Host-relative, so never
+/// compared against a baseline. Returns failure lines.
+fn chaos_checks(report: &Content, file: &str) -> Result<Vec<String>, String> {
+    let mut failures = Vec::new();
+    let flag = |name: &str| -> Result<bool, String> {
+        report
+            .get(name)
+            .and_then(Content::as_bool)
+            .ok_or_else(|| format!("{file}: missing '{name}'"))
+    };
+    let num = |path: &[&str]| -> Result<f64, String> {
+        path.iter()
+            .try_fold(report, |c, k| c.get(k))
+            .and_then(Content::as_f64)
+            .ok_or_else(|| format!("{file}: missing '{}'", path.join(".")))
+    };
+    if !flag("healthy_bit_identical")? {
+        failures.push(format!(
+            "{file}: healthy shard's results drifted from the fault-free run under the storm"
+        ));
+    }
+    let collateral = num(&["healthy_worker_deaths"])?;
+    if collateral != 0.0 {
+        failures.push(format!(
+            "{file}: {collateral} worker death(s) on the healthy shard — the storm leaked"
+        ));
+    }
+    let base_p99 = num(&["baseline", "p99_us"])?;
+    let storm_p99 = num(&["storm", "p99_us"])?;
+    let p99_limit = base_p99 * CHAOS_P99_RATIO + CHAOS_P99_SLACK_US;
+    let base_tp = num(&["baseline", "points_per_sec"])?;
+    let storm_tp = num(&["storm", "points_per_sec"])?;
+    println!(
+        "      {file}: healthy p99 {base_p99:.0} -> {storm_p99:.0} us (limit {p99_limit:.0}), \
+         throughput {base_tp:.0} -> {storm_tp:.0} pts/s ({:.2}x)",
+        storm_tp / base_tp
+    );
+    if storm_p99 > p99_limit {
+        failures.push(format!(
+            "{file}: healthy-shard p99 {storm_p99:.0} us under storm exceeds \
+             {base_p99:.0} x {CHAOS_P99_RATIO} + {CHAOS_P99_SLACK_US} us"
+        ));
+    }
+    if storm_tp < base_tp * CHAOS_MIN_THROUGHPUT_RATIO {
+        failures.push(format!(
+            "{file}: healthy-shard throughput fell to {:.2}x of baseline under storm \
+             (floor {CHAOS_MIN_THROUGHPUT_RATIO})",
+            storm_tp / base_tp
+        ));
+    }
+    Ok(failures)
 }
 
 /// Structural checks on the fresh timing report: the determinism flag and
@@ -198,10 +313,8 @@ fn timing_checks(report: &Content, file: &str) -> Result<Vec<String>, String> {
         .get("host_cpus")
         .and_then(Content::as_f64)
         .ok_or_else(|| format!("{file}: missing 'host_cpus'"))?;
-    // Full 4x is only achievable with the cores to back it: require half
-    // the usable core count, capped at the 4x target the issue sets for
-    // 8-worker runs on ≥8-core hosts.
-    let required = (0.5 * host_cpus.min(8.0)).min(4.0);
+    // Full 4x is only achievable with the cores to back it.
+    let required = speedup_floor(host_cpus);
     let runs = report
         .get("runs")
         .and_then(Content::as_seq)
@@ -314,6 +427,14 @@ fn run(args: &[String]) -> Result<Vec<String>, String> {
         &load(&Path::new(&fresh_dir).join("BENCH_serve.json"))?,
         "BENCH_serve.json",
     )?);
+    let chaos_path = Path::new(&fresh_dir).join("BENCH_chaos.json");
+    if chaos_path.exists() {
+        failures.extend(chaos_checks(&load(&chaos_path)?, "BENCH_chaos.json")?);
+    } else {
+        // chaos_bench needs --features fault-injection; a default bench
+        // sweep legitimately omits it.
+        println!("      BENCH_chaos.json: not in fresh run, chaos checks skipped");
+    }
     failures.extend(compare(&fresh, &baseline, max_regression_pct));
     Ok(failures)
 }

@@ -11,10 +11,13 @@
 //! (batch amortization and worker speedup over the serial path).
 
 use awesym_bench::{lines_workload, opamp_workload, time_median};
-use awesym_serve::{decode_frame, evaluate_batch, BatchOutput, Server, ServerConfig};
+use awesym_serve::{
+    decode_frame, evaluate_batch, BatchOutput, PoolConfig, Server, ServerConfig, WorkerPool,
+};
 use awesymbolic::CompiledModel;
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -143,7 +146,7 @@ fn run_obs_overhead(model: CompiledModel, reps: usize) -> ObsResult {
             observe,
             ..ServerConfig::default()
         });
-        server.registry().insert("m", model.clone());
+        server.insert_model("m", model.clone());
         server
     };
     let observed = make(true);
@@ -210,7 +213,87 @@ fn run_obs_overhead(model: CompiledModel, reps: usize) -> ObsResult {
     }
 }
 
-fn json_report(points: usize, reps: usize, results: &[CaseResult], obs: &ObsResult) -> String {
+struct PoolRun {
+    workers: usize,
+    secs: f64,
+    points_per_sec: f64,
+    speedup_vs_1: f64,
+}
+
+struct PoolResult {
+    batch_points: usize,
+    host_cpus: usize,
+    runs: Vec<PoolRun>,
+}
+
+/// Times a 1200-point batch through the persistent `WorkerPool` at each
+/// worker count, against the same pool's own 1-worker time. Unlike the
+/// per-case `evaluate_batch` numbers (which pay thread spawn per batch),
+/// this measures the steady-state fleet path: workers stay parked on the
+/// queue between batches, so the speedup curve is what a serving shard
+/// actually sees. `host_cpus` is recorded so the gate can apply a
+/// core-count-aware scaling floor instead of demanding 4x from a laptop.
+fn run_pool_scaling(model: &CompiledModel, reps: usize) -> PoolResult {
+    let batch_points = 1200usize;
+    let model = Arc::new(model.clone());
+    let points = Arc::new(make_points(&model, batch_points));
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut runs: Vec<PoolRun> = Vec::new();
+    let mut base_secs = f64::NAN;
+    for &w in &WORKER_COUNTS {
+        let pool = WorkerPool::new(
+            0,
+            PoolConfig {
+                workers: w,
+                ..PoolConfig::default()
+            },
+        );
+        // Warm-up pass parks every worker on the queue before timing.
+        let warm = pool.run_batch(
+            Arc::clone(&model),
+            Arc::clone(&points),
+            BatchOutput::Moments,
+            None,
+            None,
+        );
+        assert!(
+            warm.results.iter().all(Result::is_ok),
+            "pool batch failed at {w} workers"
+        );
+        let secs = time_median(reps, || {
+            let out = pool.run_batch(
+                Arc::clone(&model),
+                Arc::clone(&points),
+                BatchOutput::Moments,
+                None,
+                None,
+            );
+            std::hint::black_box(out.results.len());
+        });
+        if w == 1 {
+            base_secs = secs;
+        }
+        runs.push(PoolRun {
+            workers: w,
+            secs,
+            points_per_sec: batch_points as f64 / secs,
+            speedup_vs_1: base_secs / secs,
+        });
+    }
+    PoolResult {
+        batch_points,
+        host_cpus,
+        runs,
+    }
+}
+
+fn json_report(
+    points: usize,
+    reps: usize,
+    results: &[CaseResult],
+    obs: &ObsResult,
+    pool: &PoolResult,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"bench\": \"serve\",");
@@ -248,6 +331,20 @@ fn json_report(points: usize, reps: usize, results: &[CaseResult], obs: &ObsResu
         let _ = writeln!(
             s,
             "      {{\"stage\": \"{stage}\", \"count\": {count}, \"total_ns\": {total_ns}, \"mean_ns\": {mean_ns:.1}}}{comma}"
+        );
+    }
+    s.push_str("    ]\n");
+    s.push_str("  },\n");
+    s.push_str("  \"pool\": {\n");
+    let _ = writeln!(s, "    \"batch_points\": {},", pool.batch_points);
+    let _ = writeln!(s, "    \"host_cpus\": {},", pool.host_cpus);
+    s.push_str("    \"runs\": [\n");
+    for (i, r) in pool.runs.iter().enumerate() {
+        let comma = if i + 1 < pool.runs.len() { "," } else { "" };
+        let _ = writeln!(
+            s,
+            "      {{\"workers\": {}, \"secs\": {:e}, \"points_per_sec\": {:e}, \"speedup_vs_1\": {:e}}}{comma}",
+            r.workers, r.secs, r.points_per_sec, r.speedup_vs_1
         );
     }
     s.push_str("    ]\n");
@@ -324,6 +421,17 @@ fn main() {
     for (stage, count, _total, mean_ns) in &obs.serialize_by_encoding {
         println!("  encoding {stage:<18} count {count:>4}  mean {mean_ns:>12.0} ns");
     }
+    let pool = run_pool_scaling(&opamp.model, reps);
+    println!(
+        "pool: {}-pt batch, host_cpus={}",
+        pool.batch_points, pool.host_cpus
+    );
+    for r in &pool.runs {
+        println!(
+            "  workers {:>2}  {:>12.0} pts/s  {:>6.2}x vs 1 worker",
+            r.workers, r.points_per_sec, r.speedup_vs_1
+        );
+    }
     let lines = lines_workload(segments).expect("lines workload");
     let cases = [
         Case {
@@ -372,6 +480,6 @@ fn main() {
     if let Some(dir) = out.parent().filter(|d| !d.as_os_str().is_empty()) {
         std::fs::create_dir_all(dir).expect("create output dir");
     }
-    std::fs::write(&out, json_report(points, reps, &results, &obs)).expect("write report");
+    std::fs::write(&out, json_report(points, reps, &results, &obs, &pool)).expect("write report");
     println!("\nwrote {}", out.display());
 }

@@ -64,10 +64,14 @@ USAGE:
                (.awesym writes the versioned, checksummed artifact format)
   awesym eval  --model file.{json,awesym} --values v1,v2,...
   awesym serve [--capacity n] [--deadline-ms t] [--max-batch n]
-               [--max-inflight n] [--stats-every n]
+               [--max-inflight n] [--stats-every n] [--shards n]
+               [--shard-workers n]
                newline-delimited-JSON request loop on stdin/stdout: load,
-               compile, save, eval, batch, stats, shutdown (see
-               docs/serving.md; limits in docs/robustness.md).
+               compile, save, eval, batch, stats, health, drain,
+               shutdown (see docs/serving.md; limits in
+               docs/robustness.md). --shards splits the model fleet into
+               n supervised shards (crash isolation, per-shard circuit
+               breakers), each with a persistent --shard-workers pool.
                --stats-every n emits a stats NDJSON line (with per-stage
                latency breakdown) to stderr every n requests
                (docs/observability.md)
@@ -115,6 +119,8 @@ struct Opts {
     max_batch: Option<usize>,
     max_inflight: Option<usize>,
     stats_every: u64,
+    shards: Option<usize>,
+    shard_workers: Option<usize>,
 }
 
 fn parse_opts(args: &[&str]) -> Result<Opts, String> {
@@ -139,6 +145,8 @@ fn parse_opts(args: &[&str]) -> Result<Opts, String> {
         max_batch: None,
         max_inflight: None,
         stats_every: 0,
+        shards: None,
+        shard_workers: None,
     };
     let mut it = args.iter().copied().peekable();
     while let Some(a) = it.next() {
@@ -223,6 +231,20 @@ fn parse_opts(args: &[&str]) -> Result<Opts, String> {
                 o.stats_every = grab("--stats-every")?
                     .parse()
                     .map_err(|e| format!("bad --stats-every: {e}"))?
+            }
+            "--shards" => {
+                o.shards = Some(
+                    grab("--shards")?
+                        .parse()
+                        .map_err(|e| format!("bad --shards: {e}"))?,
+                )
+            }
+            "--shard-workers" => {
+                o.shard_workers = Some(
+                    grab("--shard-workers")?
+                        .parse()
+                        .map_err(|e| format!("bad --shard-workers: {e}"))?,
+                )
             }
             "--opt-level" => {
                 o.opt_level = grab("--opt-level")?
@@ -478,6 +500,8 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
         max_batch_points: o.max_batch.unwrap_or(defaults.max_batch_points),
         max_inflight: o.max_inflight.unwrap_or(defaults.max_inflight),
         stats_every: o.stats_every,
+        shards: o.shards.unwrap_or(defaults.shards).max(1),
+        shard_workers: o.shard_workers.unwrap_or(defaults.shard_workers),
         ..defaults
     });
     let stdin = std::io::stdin();
@@ -487,7 +511,7 @@ fn cmd_serve(args: &[&str]) -> Result<String, String> {
     server
         .serve_with_stats(stdin.lock(), stdout.lock(), std::io::stderr().lock())
         .map_err(|e| format!("serve transport error: {e}"))?;
-    let snap = server.registry().stats();
+    let snap = server.registry_stats();
     // Stdout carries the NDJSON response stream; keep the human-readable
     // wrap-up off it so programmatic clients reading to EOF never see a
     // non-JSON line.
@@ -965,6 +989,8 @@ mod tests {
             ("--max-batch", "bad --max-batch"),
             ("--max-inflight", "bad --max-inflight"),
             ("--stats-every", "bad --stats-every"),
+            ("--shards", "bad --shards"),
+            ("--shard-workers", "bad --shard-workers"),
         ] {
             assert!(run(&["serve", flag, "x"]).unwrap_err().contains(msg));
             assert!(run(&["serve", flag]).unwrap_err().contains("missing value"));

@@ -137,19 +137,32 @@ pub struct BatchOutcome {
     pub deadline_exceeded: bool,
 }
 
-/// Shared per-batch control block: the deadline and the health counters
-/// the workers update.
-struct BatchCtl {
-    deadline: Option<Instant>,
-    expired: AtomicBool,
-    panics: AtomicU64,
-    degraded: AtomicU64,
+/// Shared per-batch control block: the deadline, the health counters the
+/// workers update, and the id of the shard evaluating the batch (0 on
+/// unsharded paths; fault plans can target one shard).
+pub(crate) struct BatchCtl {
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) expired: AtomicBool,
+    pub(crate) panics: AtomicU64,
+    pub(crate) degraded: AtomicU64,
+    pub(crate) shard: usize,
 }
 
 impl BatchCtl {
+    /// A fresh control block for one batch evaluated by `shard`.
+    pub(crate) fn new(deadline: Option<Instant>, shard: usize) -> Self {
+        BatchCtl {
+            deadline,
+            expired: AtomicBool::new(false),
+            panics: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            shard,
+        }
+    }
+
     /// True once the deadline has passed. Sticky: the first worker to
     /// notice flips a flag all workers see without re-reading the clock.
-    fn check_expired(&self) -> bool {
+    pub(crate) fn check_expired(&self) -> bool {
         if self.expired.load(Ordering::Relaxed) {
             return true;
         }
@@ -168,11 +181,11 @@ impl BatchCtl {
 /// moments must be poisoned with NaN. A no-op (always `false`) without
 /// the `fault-injection` feature.
 #[inline]
-fn apply_injected_fault(index: usize) -> bool {
+fn apply_injected_fault(shard: usize, index: usize) -> bool {
     #[cfg(feature = "fault-injection")]
     {
-        use crate::faults::{fault_for_point, Fault};
-        match fault_for_point(index) {
+        use crate::faults::{fault_for_point_on, Fault};
+        match fault_for_point_on(shard, index) {
             Some(Fault::Panic) => panic!("injected fault: panic at point {index}"),
             Some(Fault::Slow(d)) => {
                 std::thread::sleep(d);
@@ -184,7 +197,7 @@ fn apply_injected_fault(index: usize) -> bool {
     }
     #[cfg(not(feature = "fault-injection"))]
     {
-        let _ = index;
+        let _ = (shard, index);
         false
     }
 }
@@ -193,7 +206,7 @@ fn apply_injected_fault(index: usize) -> bool {
 /// every point passes the injection hook). Always `false` without the
 /// `fault-injection` feature.
 #[inline]
-fn faults_active() -> bool {
+pub(crate) fn faults_active() -> bool {
     #[cfg(feature = "fault-injection")]
     {
         crate::faults::active()
@@ -255,7 +268,7 @@ fn eval_point(
             vals.len()
         )));
     }
-    let poison = apply_injected_fault(index);
+    let poison = apply_injected_fault(ctl.shard, index);
     // Single tape replay covers every output kind — the ROM paths reuse
     // the already-evaluated moments instead of replaying the tape again.
     ev.eval_into(vals, moments);
@@ -344,8 +357,9 @@ fn mark_deadline(slots: &mut [Option<PointResult>], from: usize) {
 /// whole batch. Moment-only chunks whose points all have the right arity
 /// go through the SoA batch kernel (in deadline-check sub-blocks);
 /// anything else — including any run with fault injection active — falls
-/// back to the per-point path.
-fn eval_chunk(
+/// back to the per-point path. Shared with the persistent worker pool
+/// (`crate::pool`), which calls it once per claimed chunk.
+pub(crate) fn eval_chunk(
     model: &CompiledModel,
     points: &[Vec<f64>],
     output: &BatchOutput,
@@ -469,12 +483,7 @@ pub fn evaluate_batch_guarded(
     deadline: Option<Instant>,
 ) -> BatchOutcome {
     let n = points.len();
-    let ctl = BatchCtl {
-        deadline,
-        expired: AtomicBool::new(false),
-        panics: AtomicU64::new(0),
-        degraded: AtomicU64::new(0),
-    };
+    let ctl = BatchCtl::new(deadline, 0);
     let mut results: Vec<Option<PointResult>> = vec![None; n];
     if n > 0 {
         let workers = workers.unwrap_or_else(default_workers).clamp(1, n);

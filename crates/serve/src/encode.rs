@@ -84,6 +84,11 @@ pub fn negotiate(req: &Content) -> Result<WireEncoding, ServeError> {
 pub struct BatchBody {
     /// Fields preceding `results` (`ok`, `id`, `count`, `ok_count`, …).
     pub head: Vec<(&'static str, Content)>,
+    /// The request's `id`, when it sent one. NDJSON already echoes it
+    /// through `head`; the binary frame carries it in a dedicated id
+    /// section (flag [`FLAG_HAS_ID`]) so correlation survives the
+    /// columnar path too.
+    pub id: Option<Content>,
     /// Per-point outcomes, in input order.
     pub results: Vec<PointResult>,
     /// Fixed per-point value width for the binary frame (`kind`-derived).
@@ -341,6 +346,10 @@ pub const BINARY_MAGIC: [u8; 4] = *b"AWSB";
 pub const BINARY_VERSION: u16 = 1;
 /// Header flag bit: evaluation was cut short by the deadline.
 pub const FLAG_DEADLINE_EXCEEDED: u16 = 1;
+/// Header flag bit: an id section (`u32` length + JSON bytes) follows
+/// the fixed header, before the status column. Requests without an `id`
+/// produce frames byte-identical to version 1 without this bit.
+pub const FLAG_HAS_ID: u16 = 2;
 /// Fixed header length in bytes (magic through `elapsed_ns`).
 pub const BINARY_HEADER_LEN: usize = 28;
 
@@ -397,11 +406,27 @@ impl Encoder for BinaryEncoder {
         let cols = u32::try_from(b.cols).map_err(|_| ServeError::Internal {
             what: "point width too large for binary-v1 frame".into(),
         })?;
-        let flags = if b.deadline_exceeded {
+        // Serialize the id section first: its length goes in the frame
+        // and an oversized id must fail before any header bytes land.
+        let id_bytes = match &b.id {
+            Some(id) => {
+                let mut buf = Vec::new();
+                write_value(id, &mut buf);
+                u32::try_from(buf.len()).map_err(|_| ServeError::Internal {
+                    what: "request id too large for binary-v1 frame".into(),
+                })?;
+                Some(buf)
+            }
+            None => None,
+        };
+        let mut flags = if b.deadline_exceeded {
             FLAG_DEADLINE_EXCEEDED
         } else {
             0
         };
+        if id_bytes.is_some() {
+            flags |= FLAG_HAS_ID;
+        }
         out.reserve(BINARY_HEADER_LEN + b.results.len() * (1 + 8 * b.cols));
         out.extend_from_slice(&BINARY_MAGIC);
         out.extend_from_slice(&BINARY_VERSION.to_le_bytes());
@@ -410,6 +435,10 @@ impl Encoder for BinaryEncoder {
         out.extend_from_slice(&cols.to_le_bytes());
         out.extend_from_slice(&u32::try_from(b.ok_count).unwrap_or(u32::MAX).to_le_bytes());
         out.extend_from_slice(&b.elapsed_ns.to_le_bytes());
+        if let Some(buf) = &id_bytes {
+            out.extend_from_slice(&(buf.len() as u32).to_le_bytes());
+            out.extend_from_slice(buf);
+        }
         for r in &b.results {
             out.push(match r {
                 Ok(_) => 0,
@@ -456,6 +485,8 @@ pub enum FrameError {
         /// The byte found.
         byte: u8,
     },
+    /// The id section (flag [`FLAG_HAS_ID`]) does not hold valid JSON.
+    BadId,
     /// The header's `ok_count` disagrees with the status column.
     OkCountMismatch {
         /// `ok_count` from the header.
@@ -477,6 +508,7 @@ impl fmt::Display for FrameError {
             FrameError::BadErrorCode { index, byte } => {
                 write!(f, "point {index} carries unknown error-code byte {byte}")
             }
+            FrameError::BadId => write!(f, "id section is not valid JSON"),
             FrameError::OkCountMismatch { header, counted } => write!(
                 f,
                 "header says {header} ok points, status column counts {counted}"
@@ -492,6 +524,8 @@ impl std::error::Error for FrameError {}
 pub struct DecodedFrame {
     /// The deadline flag from the header.
     pub deadline_exceeded: bool,
+    /// The request id carried in the frame's id section, when present.
+    pub id: Option<Content>,
     /// Point count.
     pub count: usize,
     /// Values per point.
@@ -561,11 +595,35 @@ pub fn decode_frame(bytes: &[u8]) -> Result<DecodedFrame, FrameError> {
     let elapsed_ns = u64::from_le_bytes([
         bytes[20], bytes[21], bytes[22], bytes[23], bytes[24], bytes[25], bytes[26], bytes[27],
     ]);
+    // The optional id section sits between the fixed header and the
+    // status column; its length prefix must be readable before the body
+    // layout can be sized.
+    let (id, body_at) = if flags & FLAG_HAS_ID != 0 {
+        if bytes.len() < BINARY_HEADER_LEN + 4 {
+            return Err(FrameError::Truncated {
+                need: BINARY_HEADER_LEN + 4,
+                got: bytes.len(),
+            });
+        }
+        let id_len = le_u32(bytes, BINARY_HEADER_LEN) as usize;
+        let id_end = BINARY_HEADER_LEN + 4 + id_len;
+        if bytes.len() < id_end {
+            return Err(FrameError::Truncated {
+                need: id_end,
+                got: bytes.len(),
+            });
+        }
+        let id: Content = serde_json::from_slice(&bytes[BINARY_HEADER_LEN + 4..id_end])
+            .map_err(|_| FrameError::BadId)?;
+        (Some(id), id_end)
+    } else {
+        (None, BINARY_HEADER_LEN)
+    };
     let need = count
         .checked_mul(cols)
         .and_then(|v| v.checked_mul(8))
         .and_then(|v| v.checked_add(count))
-        .and_then(|v| v.checked_add(BINARY_HEADER_LEN))
+        .and_then(|v| v.checked_add(body_at))
         .ok_or(FrameError::Truncated {
             need: usize::MAX,
             got: bytes.len(),
@@ -579,7 +637,7 @@ pub fn decode_frame(bytes: &[u8]) -> Result<DecodedFrame, FrameError> {
     if bytes.len() > need {
         return Err(FrameError::TrailingBytes(bytes.len() - need));
     }
-    let codes = bytes[BINARY_HEADER_LEN..BINARY_HEADER_LEN + count].to_vec();
+    let codes = bytes[body_at..body_at + count].to_vec();
     for (index, &byte) in codes.iter().enumerate() {
         if byte != 0 && ErrorCode::from_wire_byte(byte).is_none() {
             return Err(FrameError::BadErrorCode { index, byte });
@@ -593,7 +651,7 @@ pub fn decode_frame(bytes: &[u8]) -> Result<DecodedFrame, FrameError> {
         });
     }
     let mut columns = Vec::with_capacity(cols);
-    let mut at = BINARY_HEADER_LEN + count;
+    let mut at = body_at + count;
     for _ in 0..cols {
         let mut col = Vec::with_capacity(count);
         for _ in 0..count {
@@ -613,6 +671,7 @@ pub fn decode_frame(bytes: &[u8]) -> Result<DecodedFrame, FrameError> {
     }
     Ok(DecodedFrame {
         deadline_exceeded: flags & FLAG_DEADLINE_EXCEEDED != 0,
+        id,
         count,
         cols,
         ok_count,
@@ -651,6 +710,7 @@ mod tests {
                 ("count", Content::U64(n as u64)),
                 ("ok_count", Content::U64(ok_count)),
             ],
+            id: None,
             results,
             cols: 4,
             ok_count,
@@ -791,6 +851,7 @@ mod tests {
     fn binary_golden_frame_bytes() {
         let b = BatchBody {
             head: vec![],
+            id: None,
             results: vec![
                 Ok(PointValue::DcGain(1.0)),
                 Err(PointError::deadline("late")),
@@ -819,6 +880,87 @@ mod tests {
         want.extend_from_slice(&f64::NAN.to_le_bytes());
         assert_eq!(out, want);
         assert!(decode_frame(&out).unwrap().deadline_exceeded);
+    }
+
+    #[test]
+    fn id_section_round_trips_and_absent_id_keeps_legacy_layout() {
+        // No id: the flag stays clear and the decoded id is None.
+        let mut plain = Vec::new();
+        BinaryEncoder
+            .encode_response(&ResponseBody::Batch(moments_batch(5)), &mut plain)
+            .unwrap();
+        assert_eq!(le_u16(&plain, 6) & FLAG_HAS_ID, 0);
+        assert_eq!(decode_frame(&plain).unwrap().id, None);
+
+        // Ids of every envelope-legal JSON shape survive the frame.
+        let ids = [
+            Content::U64(42),
+            Content::Str("req-\"7\"-β".into()),
+            Content::I64(-3),
+        ];
+        for want in ids {
+            let mut b = moments_batch(5);
+            b.id = Some(want.clone());
+            let mut out = Vec::new();
+            BinaryEncoder
+                .encode_response(&ResponseBody::Batch(b), &mut out)
+                .unwrap();
+            assert_ne!(le_u16(&out, 6) & FLAG_HAS_ID, 0);
+            let frame = decode_frame(&out).unwrap();
+            // Compare as JSON text: the parser may pick a different
+            // integer variant (I64 vs U64) for the same value.
+            assert_eq!(
+                frame.id.as_ref().map(|v| serde_json::to_string(v).unwrap()),
+                Some(serde_json::to_string(&want).unwrap())
+            );
+            // The body decodes identically to the id-free frame
+            // (bitwise — error points are NaN).
+            let plain_frame = decode_frame(&plain).unwrap();
+            assert_eq!(frame.codes, plain_frame.codes);
+            for (a, b) in frame
+                .columns
+                .iter()
+                .flatten()
+                .zip(plain_frame.columns.iter().flatten())
+            {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            // The id section is pure insertion: header plus tail match
+            // the id-free frame byte for byte.
+            assert_eq!(out[8..BINARY_HEADER_LEN], plain[8..BINARY_HEADER_LEN]);
+            let id_len = le_u32(&out, BINARY_HEADER_LEN) as usize;
+            assert_eq!(
+                out[BINARY_HEADER_LEN + 4 + id_len..],
+                plain[BINARY_HEADER_LEN..]
+            );
+        }
+    }
+
+    #[test]
+    fn id_section_defects_are_typed() {
+        let mut b = moments_batch(3);
+        b.id = Some(Content::Str("corr-9".into()));
+        let mut out = Vec::new();
+        BinaryEncoder
+            .encode_response(&ResponseBody::Batch(b), &mut out)
+            .unwrap();
+        // Truncating inside the id length prefix or the id bytes reports
+        // Truncated, never a panic.
+        for cut in [BINARY_HEADER_LEN + 2, BINARY_HEADER_LEN + 5] {
+            assert!(
+                matches!(decode_frame(&out[..cut]), Err(FrameError::Truncated { .. })),
+                "cut at {cut}"
+            );
+        }
+        // Corrupting the id's JSON is a typed BadId.
+        let mut bad = out.clone();
+        bad[BINARY_HEADER_LEN + 4] = b'x'; // opening quote -> garbage
+        assert_eq!(decode_frame(&bad), Err(FrameError::BadId));
+        // The pristine frame still decodes.
+        assert_eq!(
+            decode_frame(&out).unwrap().id,
+            Some(Content::Str("corr-9".into()))
+        );
     }
 
     #[test]

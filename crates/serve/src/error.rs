@@ -33,6 +33,11 @@ pub enum ErrorCode {
     /// An unexpected internal failure (e.g. a panic caught inside the
     /// batch engine).
     Internal,
+    /// The shard that owns the requested model cannot serve right now —
+    /// its circuit breaker is open after repeated worker crashes, or it
+    /// is draining for shutdown. Retry after the hinted backoff; other
+    /// shards are unaffected.
+    Unavailable,
 }
 
 impl ErrorCode {
@@ -46,6 +51,7 @@ impl ErrorCode {
             ErrorCode::Overloaded => "overloaded",
             ErrorCode::NumericUnstable => "numeric_unstable",
             ErrorCode::Internal => "internal",
+            ErrorCode::Unavailable => "unavailable",
         }
     }
 
@@ -59,6 +65,7 @@ impl ErrorCode {
             "overloaded" => ErrorCode::Overloaded,
             "numeric_unstable" => ErrorCode::NumericUnstable,
             "internal" => ErrorCode::Internal,
+            "unavailable" => ErrorCode::Unavailable,
             _ => return None,
         })
     }
@@ -75,6 +82,7 @@ impl ErrorCode {
             ErrorCode::Overloaded => 5,
             ErrorCode::NumericUnstable => 6,
             ErrorCode::Internal => 7,
+            ErrorCode::Unavailable => 8,
         }
     }
 
@@ -89,6 +97,7 @@ impl ErrorCode {
             5 => ErrorCode::Overloaded,
             6 => ErrorCode::NumericUnstable,
             7 => ErrorCode::Internal,
+            8 => ErrorCode::Unavailable,
             _ => return None,
         })
     }
@@ -214,6 +223,18 @@ pub enum ServeError {
         /// Suggested client backoff.
         retry_after_ms: u64,
     },
+    /// The shard owning the requested model cannot serve right now
+    /// (circuit breaker open after repeated worker crashes, or shard
+    /// draining); retry after the hinted backoff.
+    Unavailable {
+        /// The shard that refused the request.
+        shard: u64,
+        /// Why the shard is unavailable (e.g. `"circuit breaker open"`,
+        /// `"draining"`).
+        reason: String,
+        /// Suggested client backoff.
+        retry_after_ms: u64,
+    },
     /// Model compilation or evaluation failed.
     Model(awesym_partition::PartitionError),
     /// A single-point evaluation failed (carries the point's code).
@@ -238,6 +259,7 @@ impl ServeError {
             ServeError::BadRequest { .. } => ErrorCode::BadRequest,
             ServeError::DeadlineExceeded { .. } => ErrorCode::DeadlineExceeded,
             ServeError::Overloaded { .. } => ErrorCode::Overloaded,
+            ServeError::Unavailable { .. } => ErrorCode::Unavailable,
             ServeError::Model(e) => partition_code(e),
             ServeError::Point(p) => point_code(p),
         }
@@ -293,6 +315,14 @@ impl fmt::Display for ServeError {
                 "server overloaded ({inflight}/{max_inflight} requests in flight), \
                  retry in {retry_after_ms} ms"
             ),
+            ServeError::Unavailable {
+                shard,
+                reason,
+                retry_after_ms,
+            } => write!(
+                f,
+                "shard {shard} unavailable ({reason}), retry in {retry_after_ms} ms"
+            ),
             ServeError::Model(e) => write!(f, "model error: {e}"),
             ServeError::Point(p) => write!(f, "evaluation failed: {}", p.message),
             ServeError::Internal { what } => write!(f, "internal error: {what}"),
@@ -336,6 +366,7 @@ mod tests {
             (ErrorCode::Overloaded, "overloaded"),
             (ErrorCode::NumericUnstable, "numeric_unstable"),
             (ErrorCode::Internal, "internal"),
+            (ErrorCode::Unavailable, "unavailable"),
         ] {
             assert_eq!(code.as_str(), s);
             assert_eq!(code.to_string(), s);
@@ -381,6 +412,15 @@ mod tests {
             ServeError::Internal { what: "w".into() }.code(),
             ErrorCode::Internal
         );
+        assert_eq!(
+            ServeError::Unavailable {
+                shard: 1,
+                reason: "circuit breaker open".into(),
+                retry_after_ms: 250
+            }
+            .code(),
+            ErrorCode::Unavailable
+        );
         // Numeric model failures are numeric_unstable; structural ones are
         // the client's fault.
         assert_eq!(
@@ -416,6 +456,7 @@ mod tests {
             ErrorCode::Overloaded,
             ErrorCode::NumericUnstable,
             ErrorCode::Internal,
+            ErrorCode::Unavailable,
         ];
         for code in all {
             let b = code.wire_byte();

@@ -32,6 +32,13 @@ pub enum Fault {
 /// (0–100) and partition a single per-point draw, so one point suffers at
 /// most one fault and `panic_rate_pct + nan_rate_pct + slow_rate_pct`
 /// must not exceed 100.
+///
+/// With a sharded server, `target_shard` aims the whole plan at one
+/// shard: points evaluated by any other shard see no faults at all. That
+/// is the lever the cross-shard chaos harness uses to storm one shard
+/// while asserting its neighbors stay bit-identical to a fault-free run.
+/// Unsharded evaluation paths (the plain [`crate::evaluate_batch`]
+/// helpers, a single-shard server) count as shard 0.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FaultPlan {
     /// Seed for the per-point hash.
@@ -44,6 +51,14 @@ pub struct FaultPlan {
     pub slow_rate_pct: u8,
     /// Sleep duration for slow faults.
     pub slow: Duration,
+    /// Restrict every fault in this plan to one shard; `None` faults all
+    /// shards (the pre-sharding behavior).
+    pub target_shard: Option<usize>,
+    /// Percent of worker-pool *chunks* whose worker thread is killed
+    /// outright (a panic at the pool layer, outside the per-point
+    /// `catch_unwind`) — exercises the shard supervisor's restart path.
+    /// Drawn independently of the per-point rates.
+    pub worker_kill_rate_pct: u8,
 }
 
 static PLAN: RwLock<Option<FaultPlan>> = RwLock::new(None);
@@ -84,7 +99,8 @@ impl FaultPlan {
     /// The fault (if any) this plan schedules for batch point `index`.
     /// Pure in `(seed, index)`: thread count and evaluation order do not
     /// change the answer — which lets tests recompute the faulted set
-    /// after the fact and compare runs point by point.
+    /// after the fact and compare runs point by point. Ignores
+    /// `target_shard` (see [`FaultPlan::fault_for_on`]).
     pub fn fault_for(&self, index: usize) -> Option<Fault> {
         let draw = (splitmix64(self.seed ^ (index as u64)) % 100) as u8;
         if draw < self.panic_rate_pct {
@@ -97,13 +113,49 @@ impl FaultPlan {
             None
         }
     }
+
+    /// [`FaultPlan::fault_for`], filtered by shard: `None` when the plan
+    /// targets a different shard than the one evaluating the point.
+    pub fn fault_for_on(&self, shard: usize, index: usize) -> Option<Fault> {
+        if self.target_shard.is_some_and(|t| t != shard) {
+            return None;
+        }
+        self.fault_for(index)
+    }
+
+    /// Whether the pool worker that just claimed the chunk starting at
+    /// global point index `chunk_start` on `shard` should be killed.
+    /// Deterministic in `(seed, chunk_start)` and drawn independently of
+    /// the per-point fault partition.
+    pub fn kills_worker_on(&self, shard: usize, chunk_start: usize) -> bool {
+        if self.worker_kill_rate_pct == 0 || self.target_shard.is_some_and(|t| t != shard) {
+            return false;
+        }
+        let draw = splitmix64(self.seed ^ 0xdead_beef_0bad_cafe ^ (chunk_start as u64)) % 100;
+        (draw as u8) < self.worker_kill_rate_pct
+    }
 }
 
 /// The fault (if any) scheduled for batch point `index` under the active
-/// plan.
+/// plan, evaluated on an unsharded path (shard 0).
 pub fn fault_for_point(index: usize) -> Option<Fault> {
+    fault_for_point_on(0, index)
+}
+
+/// The fault (if any) scheduled for batch point `index` under the active
+/// plan when evaluated by `shard`.
+pub fn fault_for_point_on(shard: usize, index: usize) -> Option<Fault> {
     let plan = (*PLAN.read().expect("fault plan lock poisoned"))?;
-    plan.fault_for(index)
+    plan.fault_for_on(shard, index)
+}
+
+/// Whether the active plan kills the worker claiming the chunk starting
+/// at `chunk_start` on `shard`.
+pub fn fault_kills_worker(shard: usize, chunk_start: usize) -> bool {
+    match *PLAN.read().expect("fault plan lock poisoned") {
+        Some(plan) => plan.kills_worker_on(shard, chunk_start),
+        None => false,
+    }
 }
 
 /// Flips one bit of one ASCII digit in `text` (chosen by `seed`), leaving
@@ -148,8 +200,7 @@ mod tests {
             seed: 42,
             panic_rate_pct: 10,
             nan_rate_pct: 10,
-            slow_rate_pct: 0,
-            slow: Duration::ZERO,
+            ..FaultPlan::default()
         });
         assert!(active());
         let first: Vec<Option<Fault>> = (0..1000).map(fault_for_point).collect();
@@ -194,8 +245,36 @@ mod tests {
             seed: 0,
             panic_rate_pct: 60,
             nan_rate_pct: 60,
-            slow_rate_pct: 0,
-            slow: Duration::ZERO,
+            ..FaultPlan::default()
         });
+    }
+
+    #[test]
+    fn shard_targeting_gates_faults_and_worker_kills() {
+        let plan = FaultPlan {
+            seed: 7,
+            panic_rate_pct: 50,
+            worker_kill_rate_pct: 50,
+            target_shard: Some(1),
+            ..FaultPlan::default()
+        };
+        // Off-target shard sees nothing; the target shard sees exactly
+        // the unfiltered schedule.
+        for i in 0..500 {
+            assert_eq!(plan.fault_for_on(0, i), None);
+            assert_eq!(plan.fault_for_on(1, i), plan.fault_for(i));
+            assert!(!plan.kills_worker_on(0, i));
+        }
+        let kills = (0..500).filter(|&c| plan.kills_worker_on(1, c)).count();
+        assert!((150..350).contains(&kills), "{kills}");
+        // Untargeted plans hit every shard identically.
+        let broad = FaultPlan {
+            target_shard: None,
+            ..plan
+        };
+        for i in 0..100 {
+            assert_eq!(broad.fault_for_on(0, i), broad.fault_for_on(1, i));
+            assert_eq!(broad.kills_worker_on(0, i), broad.kills_worker_on(1, i));
+        }
     }
 }

@@ -11,15 +11,24 @@
 //!   [`ModelRegistry`];
 //! - [`batch`]: [`evaluate_batch`], fanning points across scoped worker
 //!   threads with per-thread scratch reuse and per-point errors;
+//! - [`pool`]: the persistent [`WorkerPool`] — threads spawned once per
+//!   shard, parked on a job queue, supervised and restarted with capped
+//!   backoff when they die;
+//! - [`shard`]: the crash-isolation layer — [`shard_of`] name placement,
+//!   the warm/cold [`TieredRegistry`], the per-shard [`CircuitBreaker`],
+//!   and the [`Shard`] supervisor tying them together;
 //! - [`server`]: the newline-delimited-JSON [`Server`] engine behind
-//!   `awesym serve`, with request/latency/throughput [`stats`].
+//!   `awesym serve`, with request/latency/throughput [`stats`] and the
+//!   `health`/`drain` operational commands.
 //!
 //! The runtime is engineered to stay up under bad inputs: per-point
 //! panics are caught and isolated, numeric ill-health degrades gracefully
-//! to lower approximation orders, requests carry deadlines and the server
-//! sheds load past its in-flight budget — see `docs/robustness.md` and,
-//! under the `fault-injection` feature, the deterministic `faults`
-//! harness that proves it.
+//! to lower approximation orders, requests carry deadlines, the server
+//! sheds load past its in-flight budget, and a storm on one shard —
+//! panics, deadline blowouts, even dying worker threads — leaves its
+//! neighbor shards' responses bit-identical — see `docs/robustness.md`
+//! and, under the `fault-injection` feature, the deterministic `faults`
+//! harness and cross-shard chaos suite that prove it.
 
 #![forbid(unsafe_code)]
 // Production code must route failures through the error taxonomy, not
@@ -32,9 +41,11 @@ pub mod encode;
 mod error;
 #[cfg(feature = "fault-injection")]
 pub mod faults;
+pub mod pool;
 pub mod registry;
 pub mod resolve;
 pub mod server;
+pub mod shard;
 pub mod stats;
 
 pub use artifact::{
@@ -50,6 +61,11 @@ pub use encode::{
     decode_frame, BinaryEncoder, DecodedFrame, Encoder, FrameError, NdjsonEncoder, WireEncoding,
 };
 pub use error::{ErrorCode, PointError, ServeError};
+pub use pool::{PoolConfig, WorkerPool};
 pub use registry::{ModelRegistry, RegistryStats};
 pub use server::{Response, Server, ServerConfig, DEFAULT_CAPACITY};
+pub use shard::{
+    adaptive_retry_after_ms, shard_of, BreakerConfig, CircuitBreaker, Shard, ShardConfig,
+    ShardHealth, TieredRegistry, TieredStats,
+};
 pub use stats::{ServerStats, Stage, StageSnapshot, StatsSnapshot, STAGES};

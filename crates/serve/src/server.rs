@@ -11,6 +11,8 @@
 //! | `eval`     | evaluate one point against a registered model |
 //! | `batch`    | evaluate many points concurrently |
 //! | `stats`    | report request/latency/throughput/registry counters |
+//! | `health`   | readiness probe: per-shard breaker/worker/queue state |
+//! | `drain`    | stop admitting evaluation work (graceful shutdown) |
 //! | `shutdown` | acknowledge and stop the serve loop |
 //!
 //! Every response carries `"ok"`; failures report `{"ok":false,
@@ -25,11 +27,19 @@
 //! [`ServerConfig`] default), oversized lines and batches are rejected
 //! before any work happens, non-finite symbol values are refused, and an
 //! in-flight budget sheds excess load with an `overloaded` error and a
-//! `retry_after_ms` hint instead of queueing without bound.
+//! depth-scaled `retry_after_ms` hint instead of queueing without bound.
+//!
+//! Model state and evaluation are **sharded** (see `docs/serving.md`):
+//! the model name hashes to one of [`ServerConfig::shards`] shards
+//! ([`crate::shard_of`]), each owning a tiered registry, a persistent
+//! supervised worker pool, and a circuit breaker — so a crash-looping
+//! model degrades *its* shard to `unavailable` while every other shard
+//! keeps serving.
 
-use crate::batch::{evaluate_batch_guarded, BatchOutput};
+use crate::batch::BatchOutput;
 use crate::encode::{self, BatchBody, ResponseBody, WireEncoding};
-use crate::registry::ModelRegistry;
+use crate::registry::{ModelRegistry, RegistryStats};
+use crate::shard::{adaptive_retry_after_ms, shard_of, Shard, ShardConfig};
 use crate::stats::{ServerStats, Stage, STAGES};
 use crate::{artifact, resolve, ServeError};
 use awesym_obs::{now_ns, Tracer};
@@ -70,6 +80,16 @@ pub struct ServerConfig {
     /// Emit one NDJSON stats line to the stats sink every `N` handled
     /// requests during [`Server::serve_with_stats`]; `0` disables.
     pub stats_every: u64,
+    /// Shards the model fleet is split across (min 1). Each shard owns a
+    /// tiered registry, a persistent worker pool, and a circuit breaker;
+    /// models are placed by [`crate::shard_of`] over the model name.
+    pub shards: usize,
+    /// Worker threads per shard pool; `0` picks the parallelism default.
+    pub shard_workers: usize,
+    /// Concurrent evaluation jobs a shard accepts (queued + running)
+    /// before shedding with a depth-scaled retry hint; `0` disables the
+    /// per-shard bound.
+    pub shard_queue: usize,
 }
 
 impl Default for ServerConfig {
@@ -83,6 +103,9 @@ impl Default for ServerConfig {
             retry_after_ms: 50,
             observe: true,
             stats_every: 0,
+            shards: 1,
+            shard_workers: 0,
+            shard_queue: 64,
         }
     }
 }
@@ -126,11 +149,11 @@ enum Reply {
     Batch(BatchBody),
 }
 
-/// The serving engine: a model registry plus counters, driven one
+/// The serving engine: a sharded model fleet plus counters, driven one
 /// request line at a time. `&self` methods only — safe to share across
 /// threads.
 pub struct Server {
-    registry: ModelRegistry,
+    shards: Vec<Shard>,
     stats: ServerStats,
     config: ServerConfig,
     inflight: AtomicUsize,
@@ -196,13 +219,25 @@ fn obj(fields: Vec<(&str, Content)>) -> Content {
     )
 }
 
-/// Appends the standard error fields (`error`, `code`, and the
-/// `retry_after_ms` hint for shed requests) to a response envelope.
+/// Appends the standard error fields (`error`, `code`, plus the
+/// `retry_after_ms` backoff hint for shed/unavailable requests and the
+/// refusing `shard` for unavailable ones) to a response envelope.
 fn push_error_fields(fields: &mut Vec<(&'static str, Content)>, e: &ServeError) {
     fields.push(("error", Content::Str(e.to_string())));
     fields.push(("code", Content::Str(e.code().to_string())));
-    if let ServeError::Overloaded { retry_after_ms, .. } = e {
-        fields.push(("retry_after_ms", Content::U64(*retry_after_ms)));
+    match e {
+        ServeError::Overloaded { retry_after_ms, .. } => {
+            fields.push(("retry_after_ms", Content::U64(*retry_after_ms)));
+        }
+        ServeError::Unavailable {
+            shard,
+            retry_after_ms,
+            ..
+        } => {
+            fields.push(("retry_after_ms", Content::U64(*retry_after_ms)));
+            fields.push(("shard", Content::U64(*shard)));
+        }
+        _ => {}
     }
 }
 
@@ -295,9 +330,28 @@ impl Server {
     pub fn with_config(config: ServerConfig) -> Self {
         let tracer = Tracer::new(TRACE_CAPACITY);
         tracer.set_enabled(config.observe);
+        let stats = ServerStats::new();
+        let shard_config = ShardConfig {
+            warm_capacity: config.capacity,
+            // The cold tier is cheap (no worker state, just parked
+            // models), so give demoted models room before they are truly
+            // forgotten.
+            cold_capacity: (config.capacity * 4).max(1),
+            workers: if config.shard_workers == 0 {
+                crate::batch::default_workers()
+            } else {
+                config.shard_workers
+            },
+            max_queue: config.shard_queue,
+            retry_after_ms: config.retry_after_ms,
+            ..ShardConfig::default()
+        };
+        let shards = (0..config.shards.max(1))
+            .map(|i| Shard::new(i, shard_config, stats.registry()))
+            .collect();
         Server {
-            registry: ModelRegistry::new(config.capacity),
-            stats: ServerStats::new(),
+            shards,
+            stats,
             config,
             inflight: AtomicUsize::new(0),
             tracer,
@@ -309,9 +363,50 @@ impl Server {
         &self.config
     }
 
-    /// The underlying registry (e.g. to pre-load models).
+    /// Shard 0's warm-tier registry. For the default single-shard
+    /// configuration this is *the* registry (backward compatible); on a
+    /// sharded server prefer [`Server::insert_model`] /
+    /// [`Server::shard_for`], which route by name.
     pub fn registry(&self) -> &ModelRegistry {
-        &self.registry
+        self.shards[0].registry().warm()
+    }
+
+    /// Every shard, in index order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// The shard that owns `name`.
+    pub fn shard_for(&self, name: &str) -> &Shard {
+        &self.shards[shard_of(name, self.shards.len())]
+    }
+
+    /// Registers a model on the shard that owns its name. Returns the
+    /// name of a model that fell out of the owning shard's cold tier (was
+    /// truly forgotten), if any.
+    pub fn insert_model(&self, name: &str, model: CompiledModel) -> Option<String> {
+        self.shard_for(name).registry().insert(name, model)
+    }
+
+    /// Registry counters aggregated across every shard's two tiers:
+    /// cold-tier hits (promotions) count as hits, warm misses that were
+    /// satisfied by the cold tier do not count as misses, and only
+    /// cold-tier evictions (models truly forgotten) count as evictions.
+    pub fn registry_stats(&self) -> RegistryStats {
+        let mut agg = RegistryStats {
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            resident: 0,
+        };
+        for shard in &self.shards {
+            let t = shard.registry().stats();
+            agg.hits += t.warm.hits + t.promotions;
+            agg.misses += t.warm.misses.saturating_sub(t.promotions);
+            agg.evictions += t.cold.evictions;
+            agg.resident += t.warm.resident + t.cold.resident;
+        }
+        agg
     }
 
     /// The server's counters and stage histograms.
@@ -325,7 +420,10 @@ impl Server {
     }
 
     /// Claims an in-flight slot for a heavy request, or sheds it when the
-    /// budget (if any) is exhausted.
+    /// budget (if any) is exhausted. The shed hint is depth-aware: at the
+    /// budget boundary it is the configured base, and it scales with how
+    /// far past the budget the in-flight count is, so clients back off
+    /// harder the deeper the overload.
     fn admit(&self) -> Result<InflightGuard<'_>, ServeError> {
         let prev = self.inflight.fetch_add(1, Ordering::AcqRel);
         if self.config.max_inflight > 0 && prev >= self.config.max_inflight {
@@ -334,7 +432,11 @@ impl Server {
             return Err(ServeError::Overloaded {
                 inflight: prev as u64,
                 max_inflight: self.config.max_inflight as u64,
-                retry_after_ms: self.config.retry_after_ms,
+                retry_after_ms: adaptive_retry_after_ms(
+                    self.config.retry_after_ms,
+                    prev,
+                    self.config.max_inflight,
+                ),
             });
         }
         Ok(InflightGuard(&self.inflight))
@@ -351,13 +453,17 @@ impl Server {
         Some((t0 + Duration::from_millis(ms), ms))
     }
 
-    fn model(&self, req: &Content) -> Result<Arc<CompiledModel>, ServeError> {
+    /// Resolves a request's model and the shard that owns it.
+    fn route(&self, req: &Content) -> Result<(&Shard, Arc<CompiledModel>), ServeError> {
         let name = need_str(req, "model")?;
-        self.registry
+        let shard = self.shard_for(name);
+        let model = shard
+            .registry()
             .get(name)
             .ok_or_else(|| ServeError::ModelNotFound {
                 name: name.to_string(),
-            })
+            })?;
+        Ok((shard, model))
     }
 
     fn cmd_load(&self, req: &Content) -> Result<Vec<(&'static str, Content)>, ServeError> {
@@ -365,8 +471,11 @@ impl Server {
         let path = need_str(req, "path")?;
         let model = artifact::load_model_file(path)?;
         let mut fields = model_summary(name, &model);
-        let evicted = self.registry.insert(name, model);
-        if let Some(e) = evicted {
+        fields.push((
+            "shard",
+            Content::U64(shard_of(name, self.shards.len()) as u64),
+        ));
+        if let Some(e) = self.insert_model(name, model) {
             fields.push(("evicted", Content::Str(e)));
         }
         Ok(fields)
@@ -418,7 +527,11 @@ impl Server {
             .map_or(2, |v| v as usize);
         let model = CompiledModel::build(&circuit, input, output, &bindings, order)?;
         let mut fields = model_summary(name, &model);
-        if let Some(e) = self.registry.insert(name, model) {
+        fields.push((
+            "shard",
+            Content::U64(shard_of(name, self.shards.len()) as u64),
+        ));
+        if let Some(e) = self.insert_model(name, model) {
             fields.push(("evicted", Content::Str(e)));
         }
         Ok(fields)
@@ -426,7 +539,7 @@ impl Server {
 
     fn cmd_save(&self, req: &Content) -> Result<Vec<(&'static str, Content)>, ServeError> {
         let path = need_str(req, "path")?;
-        let model = self.model(req)?;
+        let (_, model) = self.route(req)?;
         artifact::save_artifact(&model, path)?;
         Ok(vec![("path", Content::Str(path.to_string()))])
     }
@@ -436,8 +549,10 @@ impl Server {
         req: &Content,
         deadline: Option<(Instant, u64)>,
         clock: &mut StageClock,
+        shard_used: &mut Option<usize>,
     ) -> Result<Vec<(&'static str, Content)>, ServeError> {
-        let model = clock.time(Stage::Lookup, || self.model(req))?;
+        let (shard, model) = clock.time(Stage::Lookup, || self.route(req))?;
+        *shard_used = Some(shard.id());
         let values = point_from(
             req.get("values").ok_or_else(|| ServeError::BadRequest {
                 what: "missing 'values' array".into(),
@@ -446,14 +561,14 @@ impl Server {
         )?;
         let kind = output_kind(req)?;
         let outcome = clock.time(Stage::Eval, || {
-            evaluate_batch_guarded(
-                &model,
-                std::slice::from_ref(&values),
-                &kind,
-                Some(1),
+            shard.evaluate(
+                Arc::clone(&model),
+                Arc::new(vec![values]),
+                kind,
                 deadline.map(|(at, _)| at),
+                Some(1),
             )
-        });
+        })?;
         clock.time(Stage::Degrade, || self.record_outcome(&outcome));
         let mut results = outcome.results;
         let result = results.pop().ok_or_else(|| ServeError::Internal {
@@ -487,8 +602,10 @@ impl Server {
         deadline: Option<(Instant, u64)>,
         clock: &mut StageClock,
         encoding: WireEncoding,
+        shard_used: &mut Option<usize>,
     ) -> Result<BatchBody, ServeError> {
-        let model = clock.time(Stage::Lookup, || self.model(req))?;
+        let (shard, model) = clock.time(Stage::Lookup, || self.route(req))?;
+        *shard_used = Some(shard.id());
         let raw_points =
             req.get("points")
                 .and_then(Content::as_seq)
@@ -529,25 +646,32 @@ impl Server {
             .get("workers")
             .and_then(Content::as_u64)
             .map(|v| (v as usize).max(1));
+        let n_points = points.len();
         let t0 = Instant::now();
         let outcome = clock.time(Stage::Eval, || {
-            evaluate_batch_guarded(&model, &points, &kind, workers, deadline.map(|(at, _)| at))
-        });
+            shard.evaluate(
+                Arc::clone(&model),
+                Arc::new(points),
+                kind.clone(),
+                deadline.map(|(at, _)| at),
+                workers,
+            )
+        })?;
         let elapsed = t0.elapsed();
         let ok_count = clock.time(Stage::Degrade, || {
-            self.stats.record_batch(points.len(), elapsed);
+            self.stats.record_batch(n_points, elapsed);
             self.record_outcome(&outcome);
             outcome.results.iter().filter(|r| r.is_ok()).count()
         });
         let secs = elapsed.as_secs_f64();
         let mut head = vec![
-            ("count", Content::U64(points.len() as u64)),
+            ("count", Content::U64(n_points as u64)),
             ("ok_count", Content::U64(ok_count as u64)),
             ("elapsed_secs", Content::F64(secs)),
             (
                 "points_per_sec",
                 Content::F64(if secs > 0.0 {
-                    points.len() as f64 / secs
+                    n_points as f64 / secs
                 } else {
                     0.0
                 }),
@@ -558,6 +682,9 @@ impl Server {
         }
         Ok(BatchBody {
             head,
+            // Filled from the request envelope by `handle_line_into` so
+            // correlation survives the binary frame too.
+            id: None,
             cols,
             ok_count: ok_count as u64,
             elapsed_ns: u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX),
@@ -568,27 +695,74 @@ impl Server {
     }
 
     fn cmd_stats(&self) -> Result<Vec<(&'static str, Content)>, ServeError> {
-        let server =
-            serde_json::to_value(&self.stats.snapshot()).map_err(|e| ServeError::BadRequest {
-                what: format!("stats serialization: {e}"),
-            })?;
-        let registry =
-            serde_json::to_value(&self.registry.stats()).map_err(|e| ServeError::BadRequest {
-                what: format!("stats serialization: {e}"),
-            })?;
+        let ser = |e: serde_json::Error| ServeError::BadRequest {
+            what: format!("stats serialization: {e}"),
+        };
+        let server = serde_json::to_value(&self.stats.snapshot()).map_err(ser)?;
+        let registry = serde_json::to_value(&self.registry_stats()).map_err(ser)?;
+        let mut models: Vec<String> = Vec::new();
+        let mut shards: Vec<Content> = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            models.extend(shard.registry().names());
+            shards.push(obj(vec![
+                (
+                    "health",
+                    serde_json::to_value(&shard.health()).map_err(ser)?,
+                ),
+                (
+                    "registry",
+                    serde_json::to_value(&shard.registry().stats()).map_err(ser)?,
+                ),
+            ]));
+        }
+        models.sort();
         Ok(vec![
             ("server", server),
             ("registry", registry),
             (
                 "models",
-                Content::Seq(
-                    self.registry
-                        .names()
-                        .into_iter()
-                        .map(Content::Str)
-                        .collect(),
-                ),
+                Content::Seq(models.into_iter().map(Content::Str).collect()),
             ),
+            ("shards", Content::Seq(shards)),
+        ])
+    }
+
+    /// Readiness probe: per-shard breaker phase, worker liveness, restart
+    /// counters, and queue depth. `ready` is the AND over shards — a
+    /// load balancer should stop routing when it goes false. Probing also
+    /// runs a supervision pass, so a probe is what nurses a crashed pool
+    /// back up even with no traffic.
+    fn cmd_health(&self) -> Result<Vec<(&'static str, Content)>, ServeError> {
+        let ready = self.shards.iter().all(Shard::is_ready);
+        let shards: Result<Vec<Content>, _> = self
+            .shards
+            .iter()
+            .map(|s| serde_json::to_value(&s.health()))
+            .collect();
+        Ok(vec![
+            ("ready", Content::Bool(ready)),
+            (
+                "shards",
+                Content::Seq(shards.map_err(|e| ServeError::BadRequest {
+                    what: format!("health serialization: {e}"),
+                })?),
+            ),
+        ])
+    }
+
+    /// Graceful-shutdown entry: every shard stops admitting evaluation
+    /// work (new eval/batch requests get `unavailable`) while in-flight
+    /// jobs finish. `pending` reports jobs still queued or running; poll
+    /// until it reaches zero, then send `shutdown`.
+    fn cmd_drain(&self) -> Result<Vec<(&'static str, Content)>, ServeError> {
+        let mut pending = 0u64;
+        for shard in &self.shards {
+            shard.drain();
+            pending += shard.queue_depth() as u64;
+        }
+        Ok(vec![
+            ("draining", Content::Bool(true)),
+            ("pending", Content::U64(pending)),
         ])
     }
 
@@ -644,6 +818,7 @@ impl Server {
             .unwrap_or(Content::Null);
         let mut shutdown = false;
         let mut encoding = WireEncoding::Ndjson;
+        let mut shard_used: Option<usize> = None;
         let outcome: Result<Reply, ServeError> = req.and_then(|req| {
             encoding = encode::negotiate(&req)?;
             let cmd = need_str(&req, "cmd")?.to_string();
@@ -664,14 +839,17 @@ impl Server {
                 "save" => self.cmd_save(&req).map(Reply::Fields),
                 "eval" => {
                     let _slot = self.admit()?;
-                    self.cmd_eval(&req, deadline, &mut clock).map(Reply::Fields)
+                    self.cmd_eval(&req, deadline, &mut clock, &mut shard_used)
+                        .map(Reply::Fields)
                 }
                 "batch" => {
                     let _slot = self.admit()?;
-                    self.cmd_batch(&req, deadline, &mut clock, encoding)
+                    self.cmd_batch(&req, deadline, &mut clock, encoding, &mut shard_used)
                         .map(Reply::Batch)
                 }
                 "stats" => self.cmd_stats().map(Reply::Fields),
+                "health" => self.cmd_health().map(Reply::Fields),
+                "drain" => self.cmd_drain().map(Reply::Fields),
                 "shutdown" => {
                     shutdown = true;
                     Ok(Reply::Fields(vec![("shutdown", Content::Bool(true))]))
@@ -679,7 +857,7 @@ impl Server {
                 other => Err(ServeError::BadRequest {
                     what: format!(
                         "unknown cmd '{other}' \
-                         (load|compile|save|eval|batch|stats|shutdown)"
+                         (load|compile|save|eval|batch|stats|health|drain|shutdown)"
                     ),
                 }),
             }
@@ -700,6 +878,9 @@ impl Server {
             Ok(Reply::Batch(mut b)) => {
                 envelope.append(&mut b.head);
                 b.head = envelope;
+                if !id.is_null() {
+                    b.id = Some(id.clone());
+                }
                 ResponseBody::Batch(b)
             }
             Err(e) => {
@@ -731,7 +912,8 @@ impl Server {
                     .encode_response(&ResponseBody::Fields(fields), out);
             });
         }
-        self.stats.record_request(t0.elapsed(), ok);
+        let latency = t0.elapsed();
+        self.stats.record_request(latency, ok);
         // Flush the collected stage times in canonical pipeline order, so
         // a drained trace always reads parse → lookup → eval → degrade →
         // serialize (requests skip stages they never reached).
@@ -743,6 +925,22 @@ impl Server {
         }
         if let Some((_, dur)) = clock.spans[Stage::Serialize.index()] {
             self.stats.record_serialize_encoding(encoding, dur);
+        }
+        // Mirror the request into the owning shard's labeled metrics, so
+        // cross-shard interference is readable straight from stats.
+        if let Some(i) = shard_used {
+            let m = &self.shards[i].metrics;
+            m.requests.inc();
+            if !ok {
+                m.errors.inc();
+            }
+            m.latency_us
+                .observe(u64::try_from(latency.as_micros()).unwrap_or(u64::MAX));
+            for stage in STAGES {
+                if let Some((_, dur)) = clock.spans[stage.index()] {
+                    m.stages[stage.index()].observe(dur);
+                }
+            }
         }
         Some(ResponseMeta { encoding, shutdown })
     }
@@ -759,7 +957,7 @@ impl Server {
     /// As [`Server::stats_line`], appending to a reusable buffer.
     pub fn stats_line_into(&self, out: &mut Vec<u8>) {
         let server = serde_json::to_value(&self.stats.snapshot()).unwrap_or(Content::Null);
-        let registry = serde_json::to_value(&self.registry.stats()).unwrap_or(Content::Null);
+        let registry = serde_json::to_value(&self.registry_stats()).unwrap_or(Content::Null);
         let line = obj(vec![
             ("stats", Content::Bool(true)),
             ("server", server),
@@ -787,7 +985,9 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates transport read/write failures (on either stream).
+    /// Propagates transport read/write failures on the request/response
+    /// streams only. A stats-sink write failure never stops the loop:
+    /// the line is dropped and counted in the `stats_dropped` counter.
     pub fn serve_with_stats<R: BufRead, W: Write, S: Write>(
         &self,
         reader: R,
@@ -813,9 +1013,18 @@ impl Server {
                 if every > 0 && handled.is_multiple_of(every) {
                     buf.clear();
                     self.stats_line_into(&mut buf);
-                    stats_out.write_all(&buf)?;
-                    stats_out.write_all(b"\n")?;
-                    stats_out.flush()?;
+                    buf.push(b'\n');
+                    // Stats are advisory: a slow or dead sink must never
+                    // stall or kill the serve loop, so a failed write
+                    // drops the line and counts the drop instead of
+                    // propagating.
+                    if stats_out
+                        .write_all(&buf)
+                        .and_then(|()| stats_out.flush())
+                        .is_err()
+                    {
+                        self.stats.record_stats_dropped();
+                    }
                 }
                 if meta.shutdown {
                     break;
@@ -1075,6 +1284,163 @@ mod tests {
         assert!(ok_of(&c), "{c:?}");
         let snap = s.stats.snapshot();
         assert_eq!(snap.requests_shed, 1);
+    }
+
+    #[test]
+    fn overload_hint_scales_with_queue_depth() {
+        let s = Server::with_config(ServerConfig {
+            max_inflight: 2,
+            retry_after_ms: 50,
+            ..ServerConfig::default()
+        });
+        s.handle_line(&compile_req("m")).unwrap();
+        let hint_at_depth = |depth: usize| {
+            // Simulate `depth` requests already in flight, then watch the
+            // next admit shed.
+            s.inflight.store(depth, Ordering::SeqCst);
+            let c = parse(
+                &s.handle_line(r#"{"cmd":"eval","model":"m","values":[1e-9,1e3]}"#)
+                    .unwrap(),
+            );
+            assert_eq!(code_of(&c), Some("overloaded"), "{c:?}");
+            c.get("retry_after_ms").and_then(Content::as_u64).unwrap()
+        };
+        // At the budget boundary the hint is the configured base; deeper
+        // queues produce strictly longer hints.
+        assert_eq!(hint_at_depth(2), 50);
+        assert_eq!(hint_at_depth(4), 100);
+        assert_eq!(hint_at_depth(10), 250);
+        s.inflight.store(0, Ordering::SeqCst);
+    }
+
+    /// A sink whose writes always fail.
+    struct BrokenSink;
+
+    impl Write for BrokenSink {
+        fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+            Err(std::io::Error::other("sink is broken"))
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Err(std::io::Error::other("sink is broken"))
+        }
+    }
+
+    #[test]
+    fn failing_stats_sink_never_stalls_the_serve_loop() {
+        let s = Server::with_config(ServerConfig {
+            stats_every: 1,
+            ..ServerConfig::default()
+        });
+        let mut input = compile_req("m");
+        input.push('\n');
+        for _ in 0..3 {
+            input.push_str(r#"{"cmd":"eval","model":"m","values":[1e-9,1e3]}"#);
+            input.push('\n');
+        }
+        let mut out = Vec::new();
+        s.serve_with_stats(input.as_bytes(), &mut out, BrokenSink)
+            .unwrap();
+        // Every request answered despite 4 failed stats writes.
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 4, "{text}");
+        for l in text.lines() {
+            assert!(ok_of(&serde_json::from_str(l).unwrap()), "{l}");
+        }
+        let snap = s.stats.snapshot();
+        assert_eq!(snap.stats_dropped, 4);
+        // And the drop counter is visible on the stats command.
+        let c = parse(&s.handle_line(r#"{"cmd":"stats"}"#).unwrap());
+        assert_eq!(
+            c.get("server")
+                .and_then(|v| v.get("stats_dropped"))
+                .and_then(Content::as_u64),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn sharded_server_routes_by_name_and_reports_health() {
+        let s = Server::with_config(ServerConfig {
+            shards: 4,
+            shard_workers: 1,
+            ..ServerConfig::default()
+        });
+        // Place models on their owning shards and evaluate each.
+        for name in ["alpha", "beta", "gamma", "delta"] {
+            let c = parse(&s.handle_line(&compile_req(name)).unwrap());
+            assert!(ok_of(&c));
+            let shard = c.get("shard").and_then(Content::as_u64).unwrap();
+            assert_eq!(
+                shard as usize,
+                crate::shard_of(name, 4),
+                "{name} placed on its hash shard"
+            );
+            let req =
+                format!(r#"{{"cmd":"batch","model":"{name}","points":[[1e-9,1e3],[2e-9,2e3]]}}"#);
+            let c = parse(&s.handle_line(&req).unwrap());
+            assert!(ok_of(&c), "{c:?}");
+            assert_eq!(c.get("ok_count").and_then(Content::as_u64), Some(2));
+        }
+        // Health: all shards ready, workers alive, nothing restarted.
+        let c = parse(&s.handle_line(r#"{"cmd":"health"}"#).unwrap());
+        assert!(ok_of(&c));
+        assert_eq!(c.get("ready").and_then(Content::as_bool), Some(true));
+        let shards = c.get("shards").and_then(Content::as_seq).unwrap();
+        assert_eq!(shards.len(), 4);
+        for (i, sh) in shards.iter().enumerate() {
+            assert_eq!(sh.get("shard").and_then(Content::as_u64), Some(i as u64));
+            assert_eq!(sh.get("breaker").and_then(Content::as_str), Some("closed"));
+            assert_eq!(sh.get("alive").and_then(Content::as_u64), Some(1));
+            assert_eq!(sh.get("restarts").and_then(Content::as_u64), Some(0));
+        }
+        // Stats carry the per-shard section and per-shard stage metrics.
+        let c = parse(&s.handle_line(r#"{"cmd":"stats"}"#).unwrap());
+        let models = c.get("models").and_then(Content::as_seq).unwrap();
+        assert_eq!(models.len(), 4);
+        assert_eq!(
+            c.get("shards").and_then(Content::as_seq).map(<[_]>::len),
+            Some(4)
+        );
+        let metrics = s.stats().metrics_ndjson();
+        let victim = crate::shard_of("alpha", 4);
+        assert!(
+            metrics.contains(&format!("\"metric\":\"shard{victim}_requests_total\"")),
+            "per-shard request counters registered"
+        );
+        assert!(
+            metrics.contains(&format!(
+                "\"metric\":\"shard{victim}_request_stage_eval_ns\""
+            )),
+            "per-shard stage histograms registered"
+        );
+        // Drain: evaluation refused with a typed unavailable, cheap
+        // commands still answered, shutdown still works.
+        let c = parse(&s.handle_line(r#"{"cmd":"drain"}"#).unwrap());
+        assert!(ok_of(&c));
+        assert_eq!(c.get("draining").and_then(Content::as_bool), Some(true));
+        assert_eq!(c.get("pending").and_then(Content::as_u64), Some(0));
+        let c = parse(
+            &s.handle_line(r#"{"cmd":"eval","model":"alpha","values":[1e-9,1e3]}"#)
+                .unwrap(),
+        );
+        assert_eq!(code_of(&c), Some("unavailable"), "{c:?}");
+        assert!(c.get("retry_after_ms").and_then(Content::as_u64).is_some());
+        assert_eq!(
+            c.get("shard").and_then(Content::as_u64),
+            Some(crate::shard_of("alpha", 4) as u64)
+        );
+        let c = parse(&s.handle_line(r#"{"cmd":"health"}"#).unwrap());
+        assert_eq!(c.get("ready").and_then(Content::as_bool), Some(false));
+        assert!(ok_of(&parse(&s.handle_line(r#"{"cmd":"stats"}"#).unwrap())));
+    }
+
+    #[test]
+    fn single_shard_registry_accessor_stays_compatible() {
+        let s = Server::default();
+        s.handle_line(&compile_req("m")).unwrap();
+        // The legacy accessor sees models on the default single shard.
+        assert!(s.registry().get("m").is_some());
+        assert_eq!(s.registry_stats().resident, 1);
     }
 
     #[test]

@@ -20,14 +20,15 @@ use std::time::Duration;
 
 /// Upper edges of the latency histogram buckets, in microseconds; an
 /// implicit unbounded bucket follows.
-const BUCKET_EDGES_US: [u64; 6] = [10, 100, 1_000, 10_000, 100_000, 1_000_000];
+pub(crate) const BUCKET_EDGES_US: [u64; 6] = [10, 100, 1_000, 10_000, 100_000, 1_000_000];
 
 /// Number of histogram buckets (the edges plus the overflow bucket).
 pub const NUM_BUCKETS: usize = BUCKET_EDGES_US.len() + 1;
 
 /// Upper edges of the per-stage histograms, in nanoseconds (1µs … 100ms,
 /// decade steps); an implicit unbounded bucket follows.
-const STAGE_EDGES_NS: [u64; 6] = [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
+pub(crate) const STAGE_EDGES_NS: [u64; 6] =
+    [1_000, 10_000, 100_000, 1_000_000, 10_000_000, 100_000_000];
 
 /// The serve loop's request pipeline stages, in execution order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -125,6 +126,10 @@ pub struct StatsSnapshot {
     pub requests_shed: u64,
     /// Points whose ROM fit degraded to a lower approximation order.
     pub degradations: u64,
+    /// Periodic stats lines that could not be written to the stats sink
+    /// and were dropped (the serve loop never stalls on a slow or dead
+    /// sink).
+    pub stats_dropped: u64,
     /// Per-stage request-time breakdown, in pipeline order (only stages
     /// a request passed through are counted).
     pub stages: Vec<StageSnapshot>,
@@ -151,6 +156,7 @@ pub struct ServerStats {
     deadlines_exceeded: Arc<Counter>,
     requests_shed: Arc<Counter>,
     degradations: Arc<Counter>,
+    stats_dropped: Arc<Counter>,
     stages: [Arc<Histogram>; 5],
     serialize_encodings: [Arc<Histogram>; 2],
 }
@@ -221,6 +227,7 @@ impl ServerStats {
             deadlines_exceeded: registry.counter("deadlines_exceeded_total"),
             requests_shed: registry.counter("requests_shed_total"),
             degradations: registry.counter("degradations_total"),
+            stats_dropped: registry.counter("stats_lines_dropped_total"),
             stages,
             serialize_encodings,
             registry,
@@ -288,6 +295,12 @@ impl ServerStats {
         self.degradations.add(n);
     }
 
+    /// Records one periodic stats line dropped because the stats sink
+    /// failed to accept it.
+    pub fn record_stats_dropped(&self) {
+        self.stats_dropped.inc();
+    }
+
     /// Snapshots every counter.
     pub fn snapshot(&self) -> StatsSnapshot {
         let batch_points = self.batch_points.get();
@@ -335,6 +348,7 @@ impl ServerStats {
             deadlines_exceeded: self.deadlines_exceeded.get(),
             requests_shed: self.requests_shed.get(),
             degradations: self.degradations.get(),
+            stats_dropped: self.stats_dropped.get(),
             stages,
             serialize_encodings,
         }
@@ -357,7 +371,9 @@ mod tests {
         s.record_request_shed();
         s.record_request_shed();
         s.record_degradations(4);
+        s.record_stats_dropped();
         let snap = s.snapshot();
+        assert_eq!(snap.stats_dropped, 1);
         assert_eq!(snap.requests, 3);
         assert_eq!(snap.errors, 1);
         assert_eq!(snap.latency.len(), NUM_BUCKETS);

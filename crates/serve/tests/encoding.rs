@@ -5,7 +5,7 @@
 //! frame corrupted anywhere on the wire must be rejected with a typed
 //! reason. This is the test the CI wire-equivalence matrix leg runs.
 
-use awesym_serve::encode::BINARY_HEADER_LEN;
+use awesym_serve::encode::{BINARY_HEADER_LEN, FLAG_HAS_ID};
 use awesym_serve::{decode_frame, FrameError, Server};
 use serde::Content;
 
@@ -52,9 +52,21 @@ fn take_line(bytes: &mut &[u8]) -> String {
 /// frames carry no trailing newline).
 fn take_frame(bytes: &mut &[u8]) -> Vec<u8> {
     assert!(bytes.len() >= BINARY_HEADER_LEN, "truncated header");
+    let flags = u16::from_le_bytes(bytes[6..8].try_into().unwrap());
     let count = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
     let cols = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
-    let len = BINARY_HEADER_LEN + count + 8 * count * cols;
+    let id_section = if flags & FLAG_HAS_ID != 0 {
+        assert!(bytes.len() >= BINARY_HEADER_LEN + 4, "truncated id length");
+        let id_len = u32::from_le_bytes(
+            bytes[BINARY_HEADER_LEN..BINARY_HEADER_LEN + 4]
+                .try_into()
+                .unwrap(),
+        ) as usize;
+        4 + id_len
+    } else {
+        0
+    };
+    let len = BINARY_HEADER_LEN + id_section + count + 8 * count * cols;
     assert!(bytes.len() >= len, "truncated frame body");
     let frame = bytes[..len].to_vec();
     *bytes = &bytes[len..];
@@ -132,6 +144,51 @@ fn binary_frames_match_ndjson_bit_for_bit_over_the_wire() {
             }
         }
     }
+}
+
+/// A request `id` must survive the binary path end to end: the server
+/// carries it in the frame's id section, the decoder hands it back, and
+/// id-free frames stay on the legacy layout with no id flag.
+#[test]
+fn request_id_survives_the_binary_path_over_the_wire() {
+    let with_id = format!(
+        r#"{{"cmd":"batch","model":"m","id":"corr-\"x\"-17","encoding":"binary-v1","points":[{}],"kind":"moments","workers":2}}"#,
+        points_json(25)
+    );
+    let numeric_id = format!(
+        r#"{{"cmd":"batch","model":"m","id":9007,"encoding":"binary-v1","points":[{}],"kind":"dc_gain"}}"#,
+        points_json(10)
+    );
+    let out = run_session(&[
+        compile_line(),
+        with_id,
+        numeric_id,
+        batch_line(25, "moments", Some("binary-v1")),
+        r#"{"cmd":"shutdown"}"#.to_string(),
+    ]);
+    let mut rest = out.as_slice();
+    let _compile = take_line(&mut rest);
+
+    let frame = decode_frame(&take_frame(&mut rest)).expect("id frame decodes");
+    assert_eq!(frame.id, Some(Content::Str("corr-\"x\"-17".into())));
+    assert_eq!(frame.count, 25);
+    assert_eq!(frame.ok_count, 25);
+
+    let frame = decode_frame(&take_frame(&mut rest)).expect("numeric-id frame decodes");
+    assert_eq!(frame.id.as_ref().and_then(Content::as_u64), Some(9007));
+    assert_eq!(frame.count, 10);
+
+    // The id-free request still produces a legacy frame: no flag, no id.
+    let raw = take_frame(&mut rest);
+    assert_eq!(
+        u16::from_le_bytes(raw[6..8].try_into().unwrap()) & FLAG_HAS_ID,
+        0
+    );
+    assert_eq!(decode_frame(&raw).unwrap().id, None);
+
+    let bye: Content = serde_json::from_str(&take_line(&mut rest)).unwrap();
+    assert_eq!(bye.get("ok").and_then(Content::as_bool), Some(true));
+    assert!(rest.is_empty(), "{} trailing bytes", rest.len());
 }
 
 /// Every corruption of a wire-captured frame — truncation at any point,

@@ -124,8 +124,7 @@ fn faulted_batch_answers_every_point_and_healthy_points_are_bit_identical() {
         seed: 0xA11CE,
         panic_rate_pct: 10,
         nan_rate_pct: 10,
-        slow_rate_pct: 0,
-        slow: Duration::ZERO,
+        ..FaultPlan::default()
     };
     faults::install(plan);
     let outcome = quiet_panics(|| {
@@ -176,8 +175,7 @@ fn server_answers_faulted_batches_and_counts_panics() {
         seed: 7,
         panic_rate_pct: 10,
         nan_rate_pct: 10,
-        slow_rate_pct: 0,
-        slow: Duration::ZERO,
+        ..FaultPlan::default()
     });
     let c = quiet_panics(|| parse(&server, &req));
     faults::clear();
@@ -224,10 +222,9 @@ fn deadline_cuts_a_slow_batch_short_without_blocking_the_next_request() {
     );
     faults::install(FaultPlan {
         seed: 1,
-        panic_rate_pct: 0,
-        nan_rate_pct: 0,
         slow_rate_pct: 100,
         slow: Duration::from_millis(25),
+        ..FaultPlan::default()
     });
     let c = parse(&server, &req);
     faults::clear();
@@ -265,10 +262,9 @@ fn inflight_budget_sheds_concurrent_load_with_retry_hint() {
     // arriving meanwhile must be shed, not queued.
     faults::install(FaultPlan {
         seed: 2,
-        panic_rate_pct: 0,
-        nan_rate_pct: 0,
         slow_rate_pct: 100,
         slow: Duration::from_millis(400),
+        ..FaultPlan::default()
     });
     let shed = std::thread::scope(|s| {
         let slow = s.spawn(|| parse(&server, r#"{"cmd":"eval","model":"m","values":[1e-9,1e3]}"#));
@@ -340,8 +336,7 @@ fn binary_frame_is_bit_identical_to_ndjson_on_a_faulted_batch() {
         seed: 0xBEEF,
         panic_rate_pct: 10,
         nan_rate_pct: 10,
-        slow_rate_pct: 0,
-        slow: Duration::ZERO,
+        ..FaultPlan::default()
     };
     let nd_req = batch_line("m", grid(1200), &[("workers", Content::U64(4))]);
     let bin_req = batch_line(

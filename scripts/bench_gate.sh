@@ -33,6 +33,13 @@ echo "==> bench_gate: fresh timing_bench (reduced samples)"
 cargo run --release -p awesym-bench --bin timing_bench -- \
   --samples 2e5 --reps 7 --out "${FRESH_DIR}/BENCH_timing.json"
 
+# Host-relative isolation envelope (p99/throughput ratios, bit-identity);
+# checked structurally by the gate, never against a baseline. Needs the
+# fault-injection feature, so it builds a separate bench profile.
+echo "==> bench_gate: fresh chaos_bench (cross-shard isolation)"
+cargo run --release -p awesym-bench --features fault-injection --bin chaos_bench -- \
+  --out "${FRESH_DIR}/BENCH_chaos.json"
+
 echo "==> bench_gate: compare vs results/ baselines"
 cargo run --release -p awesym-bench --bin bench_gate -- \
   --fresh "${FRESH_DIR}" --baseline results
